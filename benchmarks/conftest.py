@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure at the QUICK scale,
+prints the rendered table, saves it under ``benchmarks/out/``, and asserts
+the qualitative shape the paper reports.  Simulation results are shared
+across benchmarks through the disk cache in ``.simcache/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+For the full-scale reproduction (all 16 workloads, 40K instructions), set
+``REPRO_BENCH_SCALE=full`` — expect a long runtime on first execution.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import FULL, QUICK
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return FULL if os.environ.get("REPRO_BENCH_SCALE") == "full" else QUICK
+
+
+@pytest.fixture()
+def report():
+    """Print a rendered experiment table and persist it under out/."""
+
+    def _report(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Bench: ablations of design points the paper discusses in prose.
+
+Not paper figures — these probe the mechanisms behind them: the mode-
+switch penalty (why the µ-op cache can hurt), FTQ decoupling depth (why
+FDP hides L1I misses), UCP's walk bandwidth, and the Section IV-G design
+points (decode statefulness, L1I inclusivity).
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_abl_mode_switch_penalty(benchmark, scale, report):
+    result = run_once(benchmark, lambda: ablations.mode_switch_penalty(scale))
+    report("abl_switch_penalty", result.render())
+    # Shape: a costlier switch erodes the µ-op cache's benefit.
+    assert result.value("penalty=0") >= result.value("penalty=4") - 0.2
+
+
+def test_abl_ftq_depth(benchmark, scale, report):
+    result = run_once(benchmark, lambda: ablations.ftq_depth(scale))
+    report("abl_ftq_depth", result.render())
+    # Shape: a shallow FTQ forfeits decoupled run-ahead (FDP coverage).
+    assert result.value("ftq=32") <= result.value("ftq=384") + 0.2
+    # The baseline depth is its own reference point.
+    assert abs(result.value("ftq=192")) < 1e-9
+
+
+def test_abl_walk_width(benchmark, scale, report):
+    result = run_once(benchmark, lambda: ablations.walk_width(scale))
+    report("abl_walk_width", result.render())
+    # Shape: a wider walk never hurts materially (prefetches land earlier).
+    assert result.value("walk=16/cycle") >= result.value("walk=2/cycle") - 0.2
+
+
+def test_abl_isa_statefulness(benchmark, scale, report):
+    result = run_once(benchmark, lambda: ablations.isa_statefulness(scale))
+    report("abl_isa_statefulness", result.render())
+    # Shape: stateless (ARM) decode is at least as good as head-of-line-
+    # blocked stateful (x86) decode for UCP's prefetch pipeline.
+    assert result.value("stateless (ARMv8)") >= result.value("stateful (x86)") - 0.15
+
+
+def test_abl_l1i_inclusivity(benchmark, scale, report):
+    result = run_once(benchmark, lambda: ablations.l1i_inclusivity(scale))
+    report("abl_l1i_inclusivity", result.render())
+    # Shape: inclusivity caps the µ-op cache's reach (paper Section IV-G-2),
+    # so the paper's non-inclusive design is at least as good.
+    assert result.value("non-inclusive (paper)") >= result.value("L1I-inclusive") - 0.2
+
+
+def test_abl_btb_organization(benchmark, scale, report):
+    result = run_once(benchmark, lambda: ablations.btb_organization(scale))
+    report("abl_btb_organization", result.render())
+    # Shape: UCP remains effective under either BTB organisation.
+    assert result.value("region BTB") > -0.3
+    assert result.value("instruction BTB") > -0.3
+
+
+def test_abl_clasp(benchmark, scale, report):
+    result = run_once(benchmark, lambda: ablations.clasp(scale))
+    report("abl_clasp", result.render())
+    # Shape (Kotra et al., paper Section VII-E): relaxing the region rule
+    # raises the hit rate without a commensurate IPC change.
+    labels = [label for label, _ in result.rows]
+    strict = next(label for label in labels if label.startswith("strict"))
+    relaxed = next(label for label in labels if label.startswith("CLASP"))
+    strict_hit = float(strict.split("hit ")[1].rstrip("%)"))
+    clasp_hit = float(relaxed.split("hit ")[1].rstrip("%)"))
+    assert clasp_hit >= strict_hit - 0.5
+
+
+def test_abl_confidence_family(benchmark, scale, report):
+    result = run_once(benchmark, lambda: ablations.confidence_family(scale))
+    report("abl_confidence_family", result.render())
+    # Shape: the paper's UCP-Conf is the best trigger of the three.
+    assert result.value("UCP-Conf") >= result.value("TAGE-Conf") - 0.15
+    assert result.value("UCP-Conf") >= result.value("perceptron") - 0.15

@@ -1,0 +1,18 @@
+"""Bench: Fig. 2 — IPC impact of the 4Kops µ-op cache.
+
+Paper: beneficial for ~80.7% of traces, improvements roughly -2%..+6%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig02_uop_impact as experiment
+
+
+def test_fig02_uop_cache_impact(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("fig02", experiment.render(result))
+    # Shape: a clear majority of traces benefits from the µ-op cache...
+    assert result.fraction_benefiting >= 0.6
+    # ...and no trace swings implausibly far in either direction.
+    for _name, pct in result.speedups:
+        assert -8.0 < pct < 25.0

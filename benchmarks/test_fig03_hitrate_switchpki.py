@@ -1,0 +1,26 @@
+"""Bench: Fig. 3 — µ-op cache hit rate and switch PKI.
+
+Paper: amean hit rate 71.6% (range ~30.7–99%); low-hit traces suffer many
+more build/stream switches (up to ~22 PKI).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig03_hitrate_switches as experiment
+
+
+def test_fig03_hitrate_switchpki(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("fig03", experiment.render(result))
+    # Shape: the suite spans over-subscribed and comfortably-fitting
+    # footprints.
+    hits = [hit for _, hit, _ in result.rows]
+    assert min(hits) < 75.0
+    assert max(hits) > 90.0
+    assert 35.0 < result.mean_hit_rate < 95.0
+    # Shape: traces in the bottom half of hit rate switch modes more.
+    half = len(result.rows) // 2
+    low = [pki for _, _, pki in result.rows[:half]]
+    high = [pki for _, _, pki in result.rows[half:]]
+    if low and high:
+        assert sum(low) / len(low) >= sum(high) / len(high)

@@ -1,0 +1,35 @@
+"""Bench: Fig. 5 — L1I prefetchers versus alternate-path idealisations.
+
+Paper: standalone L1I prefetchers gain 1.1–1.6%; forwarding all L1I hits
+into the µ-op cache (L1I-Hits) lifts the hit rate as high as 97% yet IPC
+only to ~1.9%; IdealBRCond-8/16 (perfect post-misprediction µ-ops) beats
+that with a much smaller hit-rate increase — criticality beats bulk.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig05_prefetchers as experiment
+
+#: Quick-mode subset; the full sweep covers all six prefetchers.
+PREFETCHERS = (None, "fnl_mma", "ep")
+
+
+def test_fig05_prefetcher_study(benchmark, scale, report):
+    result = run_once(
+        benchmark, lambda: experiment.run(scale, prefetchers=PREFETCHERS)
+    )
+    report("fig05", experiment.render(result))
+    # Shape: L1I-Hits massively raises the hit rate over Base...
+    for label in result.hit_rates:
+        assert result.hit_rates[label]["l1i_hits"] > result.hit_rates[label]["base"] + 5
+    # ...while IdealBRCond-8's hit-rate increase is comparatively modest.
+    none_rates = result.hit_rates["none"]
+    assert none_rates["ideal8"] - none_rates["base"] < (
+        none_rates["l1i_hits"] - none_rates["base"]
+    )
+    # Shape: IdealBRCond-16 >= IdealBRCond-8 (longer ideal window).
+    for label in result.speedups:
+        assert result.speedups[label]["ideal16"] >= result.speedups[label]["ideal8"] - 0.5
+    # Shape: the idealisations beat the plain standalone prefetcher.
+    for label in result.speedups:
+        assert result.speedups[label]["ideal8"] >= result.speedups[label]["base"] - 0.5

@@ -1,0 +1,37 @@
+"""Bench: Fig. 6 — per-component, per-confidence misprediction rates.
+
+Paper: saturated HitBank/bimodal counters barely miss; bimodal with a
+recent miss (>1in8) misses >6% even when saturated; AltBank misses heavily
+at any counter value; confident loop predictions are reliable (<3%); SC
+miss rates are substantial at every |LSUM| band.
+"""
+
+from conftest import run_once
+
+from repro.branch.tage_sc_l import Provider
+from repro.experiments import fig06_conf_missrate as experiment
+
+
+def test_fig06_conf_missrate(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("fig06", experiment.render(result))
+
+    hitbank = result.provider_rates(Provider.HITBANK)
+    saturated = [hitbank[v] for v in (3, -4) if v in hitbank]
+    weak = [hitbank[v] for v in (0, -1) if v in hitbank]
+    if saturated and weak:
+        # Shape: weak counters miss more than saturated ones.
+        assert min(weak) >= max(saturated) - 5.0
+        # Shape: saturated HitBank counters are trustworthy.
+        assert max(saturated) < 20.0
+
+    loop = result.provider_rates(Provider.LOOP)
+    confident_loop = [rate for conf, rate in loop.items() if conf >= 3]
+    if confident_loop:
+        # Shape: confident loop predictions are near-perfect.
+        assert max(confident_loop) < 10.0
+
+    sc = result.provider_rates(Provider.SC)
+    if sc:
+        # Shape: SC predictions keep a substantial miss rate at any band.
+        assert max(sc.values()) > 10.0

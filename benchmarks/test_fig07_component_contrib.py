@@ -1,0 +1,30 @@
+"""Bench: Fig. 7 — misprediction contribution per TAGE-SC-L component.
+
+Paper: HitBank 66.7%, SC 11.1%, AltBank 8.1%, bimodal 6.2% (+7.5% with a
+recent bimodal miss), loop predictor 0.1%.  Our shorter, colder traces
+shift weight from HitBank toward the bimodal providers, but the structure
+— tagged/bimodal providers dominate, the loop predictor is negligible —
+holds.
+"""
+
+from conftest import run_once
+
+from repro.branch.tage_sc_l import Provider
+from repro.experiments import fig07_contributions as experiment
+
+
+def test_fig07_component_contrib(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("fig07", experiment.render(result))
+    total = sum(share for _miss, share in result.shares.values())
+    assert abs(total - 100.0) < 0.5
+    # Shape: the loop predictor contributes almost nothing.
+    assert result.share(Provider.LOOP) < 10.0
+    # Shape: the direction providers (tagged + bimodal) dominate.
+    direction = (
+        result.share(Provider.HITBANK)
+        + result.share(Provider.ALTBANK)
+        + result.share(Provider.BIMODAL)
+        + result.share(Provider.BIMODAL_1IN8)
+    )
+    assert direction > 50.0

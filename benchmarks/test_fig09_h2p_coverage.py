@@ -1,0 +1,21 @@
+"""Bench: Fig. 9 — H2P classifier coverage and accuracy.
+
+Paper: UCP-Conf improves coverage over TAGE-Conf from 48.5% to 70% and
+accuracy from 12% to 14.66%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig09_h2p as experiment
+
+
+def test_fig09_h2p_coverage(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("fig09", experiment.render(result))
+    # Shape: UCP-Conf is a strict extension — coverage must not drop.
+    assert result.coverage("ucp") >= result.coverage("tage")
+    # Shape: and its accuracy is at least as good.
+    assert result.accuracy("ucp") >= result.accuracy("tage") - 0.5
+    # Sanity: both estimators flag a meaningful share of mispredictions.
+    assert result.coverage("ucp") > 40.0
+    assert 0 < result.accuracy("ucp") < 100.0

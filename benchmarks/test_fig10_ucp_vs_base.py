@@ -1,0 +1,19 @@
+"""Bench: Fig. 10 — UCP and baseline IPC relative to no µ-op cache.
+
+Paper: UCP lifts the share of applications benefiting from a µ-op cache
+from 80.7% to 90%, with remaining slowdowns below 0.8%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10_ucp_vs_base as experiment
+
+
+def test_fig10_ucp_vs_base(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("fig10", experiment.render(result))
+    # Shape: UCP benefits at least as many traces as the baseline.
+    assert result.ucp_fraction_benefiting >= result.base_fraction_benefiting - 1e-9
+    # Shape: UCP never turns the µ-op cache into a large loss.
+    for _name, _base_pct, ucp_pct in result.rows:
+        assert ucp_pct > -2.0

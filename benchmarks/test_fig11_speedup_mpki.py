@@ -1,0 +1,21 @@
+"""Bench: Fig. 11 — per-trace UCP speedup vs conditional MPKI.
+
+Paper: 2% average speedup (up to 12%); the biggest winners have clearly
+higher conditional MPKI (6.17 vs the 1.56 average) — refill acceleration
+pays where refills are frequent.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11_speedup_mpki as experiment
+
+
+def test_fig11_speedup_mpki(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("fig11", experiment.render(result))
+    # Shape: UCP helps on average, and no trace degrades noticeably.
+    assert result.geomean_pct > -0.2
+    for _name, speedup, _mpki in result.rows:
+        assert speedup > -1.5
+    # Shape: higher-MPKI traces gain more (top half vs bottom half).
+    assert result.correlation_positive()

@@ -1,0 +1,24 @@
+"""Bench: Fig. 12 — UCP ablations (indirect predictor, confidence source).
+
+Paper: (a) the dedicated Alt-Ind indirect predictor lifts the gain from
+1.9% (UCP-NoInd) to 2%; (b) the UCP-Conf trigger beats TAGE-Conf (2.0%
+vs 1.8%).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_variants as experiment
+
+
+def test_fig12_variants(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("fig12", experiment.render(result))
+    # Shape (a): the Alt-Ind indirect predictor does not hurt, and usually
+    # extends the useful alternate path.
+    assert result.speedup("UCP") >= result.speedup("UCP-NoInd") - 0.15
+    # Shape (b): the improved confidence estimator is at least as good a
+    # trigger as the original TAGE heuristic.
+    assert result.speedup("UCP") >= result.speedup("TAGE-Conf") - 0.15
+    # All flavours provide some benefit.
+    for label, pct in result.speedups.items():
+        assert pct > -0.5, label

@@ -1,0 +1,20 @@
+"""Bench: Fig. 13 — µ-op cache hit rate under UCP.
+
+Paper: the amean hit rate moves only from 71.4% to 74% — UCP prefetches
+few but critical entries (its gains come from refill speed, not bulk hit
+rate).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13_ucp_hitrate as experiment
+
+
+def test_fig13_ucp_hitrate(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("fig13", experiment.render(result))
+    delta = result.mean_ucp_hit - result.mean_base_hit
+    # Shape: UCP raises the hit rate...
+    assert delta >= -0.5
+    # ...but only modestly (selective prefetching, not bulk).
+    assert delta < 20.0

@@ -1,0 +1,22 @@
+"""Bench: Fig. 14 — UCP prefetch accuracy.
+
+Paper: on average 67.7% of prefetches are timely with respect to the
+triggering H2P instance; ~8% of wrong-path prefetched entries are still
+used at least once later.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig14_prefetch_accuracy as experiment
+
+
+def test_fig14_prefetch_accuracy(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("fig14", experiment.render(result))
+    active = [(acc, n) for _, acc, n in result.rows if n > 0]
+    assert active, "no UCP prefetches happened"
+    # Shape: prefetches are mostly timely on active traces.
+    weighted = sum(acc * n for acc, n in active) / sum(n for _, n in active)
+    assert weighted > 30.0
+    # Shape: a meaningful fraction of prefetched entries gets used.
+    assert result.used_rate > 2.0

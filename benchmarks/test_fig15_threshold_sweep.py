@@ -1,0 +1,27 @@
+"""Bench: Fig. 15 — stopping-threshold sensitivity.
+
+Paper: the µ-op-prefetch gain plateaus around a threshold of ~500 and
+thrashes past ~1000; the L1I-only flavour peaks later (~1000) and stays
+between 0.6% and 1.7%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig15_threshold as experiment
+
+THRESHOLDS = (16, 64, 500, 1024, 4096)
+
+
+def test_fig15_threshold_sweep(benchmark, scale, report):
+    result = run_once(
+        benchmark, lambda: experiment.run(scale, thresholds=THRESHOLDS)
+    )
+    report("fig15", experiment.render(result))
+    # Shape: the paper's operating point (500) performs within a whisker
+    # of the best threshold for µ-op-cache prefetching.
+    at_500 = result.ucp[THRESHOLDS.index(500)]
+    assert at_500 >= max(result.ucp) - 0.25
+    # Shape: a tiny threshold (16) leaves gains on the table.
+    assert result.ucp[0] <= at_500 + 0.1
+    # Shape: full UCP beats the L1I-only flavour at the operating point.
+    assert at_500 >= result.till_l1i[THRESHOLDS.index(500)] - 0.1

@@ -1,0 +1,30 @@
+"""Bench: Fig. 16 — storage vs speedup Pareto of frontend techniques.
+
+Paper: both UCP flavours (8.95/12.95KB) sit on the Pareto front; D-JOLT
+spends ~125KB for less; MRC reaches only 0.3–0.7% even at 132KB; doubling
+the branch predictor costs ~64KB for a marginal edge over UCP.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig16_pareto as experiment
+
+
+def test_fig16_pareto(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale, full=True))
+    report("fig16", experiment.render(result))
+    ucp = result.point("UCP")
+    no_ind = result.point("UCP-NoIndirect")
+    djolt = result.point("DJOLT")
+    # Budgets match the paper's Section IV-F accounting.
+    assert 12 < ucp.storage_kb < 14
+    assert 8 < no_ind.storage_kb < 10
+    assert djolt.storage_kb == 125.0
+    # Shape: UCP delivers its gain at an order of magnitude less storage
+    # than D-JOLT-class prefetchers.
+    assert ucp.storage_kb < djolt.storage_kb / 5
+    # Shape: MRC scaling is a poor investment per KB vs UCP.
+    mrc_big = result.point("MRC-512")
+    ucp_per_kb = ucp.speedup_pct / ucp.storage_kb
+    mrc_per_kb = mrc_big.speedup_pct / mrc_big.storage_kb
+    assert ucp_per_kb >= mrc_per_kb

@@ -1,0 +1,25 @@
+"""Bench: artifact appendix table — UCP variant IPC improvements.
+
+Paper artifact values (threshold 500): UCP 2.0%, UCP-TillL1I 1.6%,
+UCP-SharedDecoders 1.8%, UCP-IdealBTBBanking 2.2%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import taba_variants as experiment
+
+
+def test_taba_variants(benchmark, scale, report):
+    result = run_once(benchmark, lambda: experiment.run(scale))
+    report("tabA", experiment.render(result))
+    ucp = result.speedup("UCP")
+    # Shape orderings from the artifact table:
+    # UCP >= SharedDecoders (dedicated decoders never hurt)...
+    assert ucp >= result.speedup("UCP-SharedDecoders") - 0.15
+    # ...UCP >= TillL1I (filling the µ-op cache is the point)...
+    assert ucp >= result.speedup("UCP-TillL1I") - 0.1
+    # ...and ideal BTB banking can only help.
+    assert result.speedup("UCP-IdealBTBBanking") >= ucp - 0.1
+    # All variants remain net positive.
+    for label, pct in result.speedups.items():
+        assert pct > -0.3, label

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Branch-confidence anatomy: who predicts, who misses, what UCP flags.
+
+Runs the baseline 64KB-class TAGE-SC-L over a workload and prints, per
+predictor component, how many predictions it provided, its miss rate, and
+how the two hard-to-predict (H2P) classifiers — Seznec's TAGE-Conf and the
+paper's UCP-Conf — would have triaged them (paper Figs. 6, 7 and 9).
+
+Run:  python examples/h2p_confidence.py [workload]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro.analysis.tables import format_table
+from repro.branch import (
+    ConfidenceStats,
+    TageScL,
+    tage_conf_is_h2p,
+    ucp_conf_is_h2p,
+)
+from repro.isa import BranchClass
+from repro.workloads import load_workload
+
+N_INSTRUCTIONS = 25_000
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "int_03"
+    trace = load_workload(name, N_INSTRUCTIONS).trace
+    predictor = TageScL()
+    per_provider = defaultdict(lambda: [0, 0])  # provider -> [n, misses]
+    estimators = {
+        "TAGE-Conf": (tage_conf_is_h2p, ConfidenceStats("tage")),
+        "UCP-Conf": (ucp_conf_is_h2p, ConfidenceStats("ucp")),
+    }
+    warm = len(trace) // 2
+
+    for i in range(len(trace)):
+        branch_class = trace.branch_classes[i]
+        if branch_class == BranchClass.COND_DIRECT:
+            pc = int(trace.pcs[i])
+            taken = bool(trace.takens[i])
+            prediction = predictor.predict(pc)
+            if i >= warm:
+                miss = prediction.taken != taken
+                entry = per_provider[prediction.provider.value]
+                entry[0] += 1
+                entry[1] += miss
+                for classify, stats in estimators.values():
+                    stats.record(classify(prediction), miss)
+            predictor.update(prediction, taken)
+        elif branch_class != BranchClass.NOT_BRANCH:
+            predictor.push_unconditional(int(trace.pcs[i]))
+
+    rows = [
+        (provider, n, 100.0 * miss / max(1, n))
+        for provider, (n, miss) in sorted(
+            per_provider.items(), key=lambda item: -item[1][0]
+        )
+    ]
+    print(format_table(
+        f"{name}: predictions and miss rate per TAGE-SC-L component",
+        ["component", "predictions", "miss rate %"],
+        rows,
+    ))
+
+    print()
+    rows = [
+        (label, stats.coverage, stats.accuracy)
+        for label, (_fn, stats) in estimators.items()
+    ]
+    print(format_table(
+        "H2P classifiers (paper Fig. 9)",
+        ["estimator", "coverage %", "accuracy %"],
+        rows,
+    ))
+    print(
+        "\ncoverage = mispredictions flagged as H2P;"
+        "\naccuracy = flagged branches that actually mispredict."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload with and without UCP.
+
+Builds a synthetic datacenter-style workload, runs the paper's Table II
+baseline pipeline on it, then enables UCP (alternate-path µ-op cache
+prefetching) and reports the difference — the headline experiment of the
+paper in a few lines of the public API.
+
+Run:  python examples/quickstart.py
+"""
+
+from dataclasses import replace
+
+from repro.core import SimConfig, simulate
+from repro.core.configs import UCPConfig
+from repro.workloads import load_workload
+
+N_INSTRUCTIONS = 20_000
+
+
+def main() -> None:
+    # 1. Materialise a workload from the built-in suite (a deterministic
+    #    synthetic trace standing in for the paper's CVP-1 traces).
+    workload = load_workload("srv_04", N_INSTRUCTIONS)
+    stats = workload.trace.stats()
+    print(f"workload: {workload.name}")
+    print(
+        f"  {stats.instructions} instructions, "
+        f"{stats.static_code_bytes / 1024:.0f}KB of static code touched, "
+        f"{stats.conditional_branches} conditional branches"
+    )
+
+    # 2. Baseline: Alder-Lake-like frontend with a 4Kops µ-op cache.
+    baseline = simulate(workload.trace, SimConfig())
+    print("\nbaseline (Table II):")
+    print(f"  IPC                  {baseline.ipc:.3f}")
+    print(f"  u-op cache hit rate  {baseline.uop_hit_rate:.1f}%")
+    print(f"  mode switches PKI    {baseline.switch_pki:.1f}")
+    print(f"  conditional MPKI     {baseline.cond_mpki:.2f}")
+
+    # 3. UCP: prefetch the alternate path of hard-to-predict branches.
+    ucp_result = simulate(
+        workload.trace, replace(SimConfig(), ucp=UCPConfig(enabled=True))
+    )
+    speedup = 100.0 * (ucp_result.ipc / baseline.ipc - 1.0)
+    window = ucp_result.window
+    print("\nwith UCP (Section IV):")
+    print(f"  IPC                  {ucp_result.ipc:.3f}  ({speedup:+.2f}%)")
+    print(f"  u-op cache hit rate  {ucp_result.uop_hit_rate:.1f}%")
+    print(f"  H2P triggers         {window.get('ucp_h2p_triggers', 0)}")
+    print(f"  alternate walks      {window.get('ucp_walks_started', 0)}")
+    print(f"  entries prefetched   {window.get('ucp_entries_prefetched', 0)}")
+    print(f"  prefetch accuracy    {ucp_result.prefetch_accuracy:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper in one run.
+
+Drives all experiment modules (Fig. 2–16 and the artifact variant table)
+and prints their tables.  ``--quick`` uses the 6-trace quick scale;
+``--full`` runs the whole 16-workload suite (slow on first run — results
+are cached under .simcache/).
+
+Run:  python examples/reproduce_paper.py [--quick|--full] [figN ...]
+"""
+
+import sys
+import time
+
+from repro.experiments import FULL, QUICK
+from repro.experiments.registry import EXPERIMENTS
+
+
+def main() -> None:
+    args = [arg for arg in sys.argv[1:]]
+    scale = FULL if "--full" in args else QUICK
+    requested = [arg for arg in args if not arg.startswith("--")]
+    names = requested or list(EXPERIMENTS)
+
+    print(f"scale: {scale.name} ({len(scale.workloads)} workloads, "
+          f"{scale.n_instructions} instructions each)\n")
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.time()
+        result = module.run(scale)
+        elapsed = time.time() - start
+        print(module.render(result))
+        print(f"[{name}: {elapsed:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The PEP 660 editable-install path requires the `wheel` package; this shim
+keeps `pip install -e .` working in offline environments without it (pip
+falls back to `setup.py develop` when no build backend is declared).
+All metadata lives in setup.cfg / pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

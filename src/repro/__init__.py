@@ -1,0 +1,37 @@
+"""repro — Alternate Path µ-op Cache Prefetching (ISCA 2024) in Python.
+
+A from-scratch reproduction of Singh, Perais, Jimborean & Ros's UCP:
+a cycle-level decoupled-frontend simulator with a µ-op cache, the full
+TAGE-SC-L/ITTAGE/BTB/RAS prediction stack, state-of-the-art L1I prefetcher
+baselines, a synthetic datacenter workload suite, and the UCP engine with
+every variant the paper evaluates.
+
+Entry points
+------------
+
+>>> from repro import SimConfig, simulate, load_workload
+>>> result = simulate(load_workload("srv_04", 20_000).trace, SimConfig())
+>>> round(result.uop_hit_rate, 1)  # doctest: +SKIP
+34.9
+
+See ``examples/`` for walkthroughs, ``repro.experiments`` for the paper's
+tables/figures, and ``python -m repro --help`` for the CLI.
+"""
+
+from repro.core.configs import SimConfig, UCPConfig
+from repro.core.pipeline import SimResult, Simulator, simulate
+from repro.workloads.suite import SUITE, load_suite, load_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "UCPConfig",
+    "SimResult",
+    "Simulator",
+    "simulate",
+    "SUITE",
+    "load_workload",
+    "load_suite",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Analysis utilities: cached simulation running and table rendering.
+
+* :mod:`repro.analysis.runner` — memoised (in-process + on-disk) execution
+  of (workload, config) simulation pairs, so experiments and benchmarks
+  sharing baselines never re-simulate them.
+* :mod:`repro.analysis.tables` — plain-text rendering of the tables and
+  figure series the experiment drivers produce.
+* :mod:`repro.analysis.plot` — terminal bar charts / sparklines / series
+  plots for figure-style output.
+* :mod:`repro.analysis.energy` — relative frontend energy accounting
+  (the µ-op cache's power story, and UCP's decode overhead).
+* :mod:`repro.analysis.replication` — multi-seed replication with
+  Student-t confidence intervals.
+"""
+
+from repro.analysis.energy import EnergyWeights, decode_overhead_pct, frontend_energy
+from repro.analysis.plot import bar_chart, series_plot, sparkline
+from repro.analysis.replication import ReplicationResult, replicate_speedup
+from repro.analysis.runner import clear_disk_cache, run_cached, run_suite
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "run_cached",
+    "run_suite",
+    "clear_disk_cache",
+    "format_table",
+    "format_series",
+    "frontend_energy",
+    "decode_overhead_pct",
+    "EnergyWeights",
+    "bar_chart",
+    "sparkline",
+    "series_plot",
+    "replicate_speedup",
+    "ReplicationResult",
+]

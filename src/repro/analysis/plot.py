@@ -1,0 +1,99 @@
+"""Terminal plots: horizontal bar charts and sparklines.
+
+The paper's figures are sorted per-trace curves and grouped bars; these
+helpers render the same data in plain text so experiment drivers and
+examples can show a *figure*, not only a table, without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: Eighth-block characters for sparklines, coarsest to finest.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; negative values extend left of the axis."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [title, "=" * len(title)]
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(str(label)) for label in labels)
+    most_negative = min(0.0, min(values))
+    most_positive = max(0.0, max(values))
+    span = most_positive - most_negative
+    if span == 0:
+        span = 1.0
+    neg_cols = round(width * (-most_negative) / span)
+    pos_cols = width - neg_cols
+    for label, value in zip(labels, values):
+        if value >= 0:
+            filled = round(pos_cols * value / most_positive) if most_positive else 0
+            bar = " " * neg_cols + "|" + "#" * filled
+        else:
+            filled = round(neg_cols * (-value) / -most_negative) if most_negative else 0
+            bar = " " * (neg_cols - filled) + "#" * filled + "|"
+        lines.append(f"{str(label).rjust(label_width)} {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line miniature of a series using block characters."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0:
+        return _SPARK_LEVELS[4] * len(values)
+    chars = []
+    for value in values:
+        level = round((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def series_plot(
+    title: str,
+    x_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    height: int = 10,
+    width_per_point: int = 6,
+) -> str:
+    """A coarse multi-series line plot on a character grid."""
+    lines = [title, "=" * len(title)]
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return "\n".join(lines + ["(no data)"])
+    low, high = min(all_values), max(all_values)
+    span = (high - low) or 1.0
+    n_points = max(len(values) for values in series.values())
+    grid_width = n_points * width_per_point
+    grid = [[" "] * grid_width for _ in range(height)]
+    markers = "*o+x@%"
+    for s_index, (name, values) in enumerate(series.items()):
+        marker = markers[s_index % len(markers)]
+        for i, value in enumerate(values):
+            row = height - 1 - round((value - low) / span * (height - 1))
+            col = min(grid_width - 1, i * width_per_point + width_per_point // 2)
+            grid[row][col] = marker
+    for row_index, row in enumerate(grid):
+        level = high - span * row_index / (height - 1) if height > 1 else high
+        lines.append(f"{level:8.2f} |{''.join(row)}")
+    axis = "".join(str(label).center(width_per_point)[:width_per_point] for label in x_labels)
+    lines.append(" " * 9 + "+" + "-" * grid_width)
+    lines.append(" " * 10 + axis)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

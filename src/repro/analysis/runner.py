@@ -1,0 +1,90 @@
+"""Cached simulation execution.
+
+Experiments across different figures share many (workload, config) pairs —
+every figure needs the baseline, several need the no-µ-op-cache and ideal
+configurations.  ``run_cached`` memoises results in-process and, unless
+``REPRO_SIM_CACHE=0``, pickles them under ``.simcache/`` so repeated
+benchmark invocations skip simulation entirely.
+
+Cache keys include a ``CACHE_VERSION`` salt — bump it whenever simulator
+semantics change, or wipe with :func:`clear_disk_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+from repro.core.configs import SimConfig
+from repro.core.pipeline import SimResult, simulate
+from repro.workloads.suite import load_workload
+
+#: Bump to invalidate previously cached simulation results.
+CACHE_VERSION = 4
+
+_CACHE_DIR = Path(os.environ.get("REPRO_SIM_CACHE_DIR", ".simcache"))
+_memory_cache: dict[str, SimResult] = {}
+
+
+def _disk_enabled() -> bool:
+    return os.environ.get("REPRO_SIM_CACHE", "1") != "0"
+
+
+def _cache_key(workload: str, n_instructions: int, config: SimConfig) -> str:
+    blob = f"v{CACHE_VERSION}|{workload}|{n_instructions}|{config!r}"
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+def run_cached(workload: str, config: SimConfig, n_instructions: int = 40_000) -> SimResult:
+    """Simulate ``workload`` under ``config``, reusing cached results."""
+    key = _cache_key(workload, n_instructions, config)
+    result = _memory_cache.get(key)
+    if result is not None:
+        return result
+
+    if _disk_enabled():
+        path = _CACHE_DIR / f"{key}.pkl"
+        if path.exists():
+            try:
+                with path.open("rb") as handle:
+                    result = pickle.load(handle)
+                _memory_cache[key] = result
+                return result
+            except Exception:
+                path.unlink(missing_ok=True)
+
+    spec = load_workload(workload, n_instructions)
+    result = simulate(spec.trace, config, name=workload)
+    _memory_cache[key] = result
+
+    if _disk_enabled():
+        _CACHE_DIR.mkdir(exist_ok=True)
+        path = _CACHE_DIR / f"{key}.pkl"
+        try:
+            with path.open("wb") as handle:
+                pickle.dump(result, handle)
+        except Exception:
+            path.unlink(missing_ok=True)
+    return result
+
+
+def run_suite(
+    workloads: list[str], config: SimConfig, n_instructions: int = 40_000
+) -> dict[str, SimResult]:
+    """Run several workloads under one config (cached)."""
+    return {
+        name: run_cached(name, config, n_instructions) for name in workloads
+    }
+
+
+def clear_disk_cache() -> int:
+    """Delete all on-disk cached results; returns the number removed."""
+    if not _CACHE_DIR.exists():
+        return 0
+    removed = 0
+    for path in _CACHE_DIR.glob("*.pkl"):
+        path.unlink()
+        removed += 1
+    return removed

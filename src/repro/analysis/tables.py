@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+Every experiment driver returns rows of (label, value...) tuples; these
+helpers format them the way the paper's artifact prints its result tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned fixed-width table."""
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered_rows)) if rendered_rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: dict[str, Sequence[float]],
+    x_labels: Sequence[str] | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render one or more named series side by side (a text 'figure')."""
+    names = list(series)
+    length = max((len(values) for values in series.values()), default=0)
+    labels = list(x_labels) if x_labels is not None else [str(i) for i in range(length)]
+    headers = ["x"] + names
+    rows = []
+    for i in range(length):
+        row: list[object] = [labels[i] if i < len(labels) else str(i)]
+        for name in names:
+            values = series[name]
+            row.append(float(values[i]) if i < len(values) else "")
+        rows.append(row)
+    return format_table(title, headers, rows, float_format=float_format)

@@ -1,0 +1,62 @@
+"""Return Address Stack.
+
+The baseline uses a 64-entry RAS; UCP adds a 16-entry Alt-RAS that is
+*copied* from the main RAS when an alternate path starts and then updated
+speculatively while walking it (paper Section IV-C) — hence
+:meth:`copy_from`.  The stack is circular: overflow silently wraps and
+underflow returns ``None`` (a real RAS would produce a garbage target,
+which the caller treats as "target unknown").
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("RAS needs at least one entry")
+        self.capacity = capacity
+        self._entries: list[int] = [0] * capacity
+        self._top = 0  # index of the next free slot
+        self._occupancy = 0
+
+    def push(self, return_address: int) -> None:
+        self._entries[self._top] = return_address
+        self._top = (self._top + 1) % self.capacity
+        self._occupancy = min(self.capacity, self._occupancy + 1)
+
+    def pop(self) -> int | None:
+        if self._occupancy == 0:
+            return None
+        self._top = (self._top - 1) % self.capacity
+        self._occupancy -= 1
+        return self._entries[self._top]
+
+    def peek(self) -> int | None:
+        if self._occupancy == 0:
+            return None
+        return self._entries[(self._top - 1) % self.capacity]
+
+    def copy_from(self, other: "ReturnAddressStack") -> None:
+        """Adopt the newest entries of ``other`` (Alt-RAS initialisation).
+
+        When this stack is smaller than the source, only the newest
+        ``capacity`` entries are kept — matching a 16-entry Alt-RAS copied
+        from a 64-entry main RAS.
+        """
+        kept = min(self.capacity, other._occupancy)
+        addresses = [
+            other._entries[(other._top - kept + offset) % other.capacity]
+            for offset in range(kept)
+        ]
+        self._entries = [0] * self.capacity
+        for slot, address in enumerate(addresses):
+            self._entries[slot] = address
+        self._top = kept % self.capacity
+        self._occupancy = kept
+
+    def __len__(self) -> int:
+        return self._occupancy
+
+    def __repr__(self) -> str:
+        return f"ReturnAddressStack({self._occupancy}/{self.capacity})"

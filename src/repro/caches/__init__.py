@@ -1,0 +1,25 @@
+"""Cache substrate: instruction-side memory hierarchy and the µ-op cache.
+
+* :mod:`repro.caches.cache` — generic set-associative cache level with LRU
+  replacement and MSHR-based miss tracking/merging.
+* :mod:`repro.caches.hierarchy` — the L1I → L2 → LLC → DRAM latency chain
+  of the baseline (paper Table II), with a prefetch queue.
+* :mod:`repro.caches.uopcache` — the µ-op cache: 4Kops, 64 sets × 8 ways ×
+  8 µ-ops, with the entry builder enforcing the termination rules of paper
+  Section II and prefetch-provenance tracking for Fig. 14.
+"""
+
+from repro.caches.cache import CacheConfig, SetAssocCache
+from repro.caches.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.caches.uopcache import UopCache, UopCacheConfig, UopCacheEntry, UopEntryBuilder
+
+__all__ = [
+    "CacheConfig",
+    "SetAssocCache",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "UopCache",
+    "UopCacheConfig",
+    "UopCacheEntry",
+    "UopEntryBuilder",
+]

@@ -1,0 +1,129 @@
+"""Instruction-side memory hierarchy: L1I → L2 → LLC → DRAM.
+
+Latencies follow the baseline of paper Table II (L1I 4 cycles, L2 10,
+LLC 40, DRAM tRP+tRCD+tCAS = 37.5ns ≈ 150 cycles at 4GHz).  Only the
+instruction path is modelled in detail; data-side behaviour is folded into
+the abstract backend's load latency.
+
+The hierarchy serves two request classes the paper distinguishes:
+
+* **demand** fetches from the FTQ head (FDP turns these into effective
+  prefetches by running ahead);
+* **prefetch** requests from a standalone L1I prefetcher or from UCP,
+  issued through a bounded prefetch queue (one dequeue per cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caches.cache import CacheConfig, SetAssocCache
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "L1I", size_bytes=32 * 1024, ways=8, hit_latency=4, mshr_entries=16
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "L2", size_bytes=1280 * 1024, ways=20, hit_latency=10, mshr_entries=32
+        )
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            "LLC", size_bytes=30 * 1024 * 1024, ways=12, hit_latency=40, mshr_entries=64
+        )
+    )
+    dram_latency: int = 150
+    prefetch_queue_entries: int = 32
+    l1i_banks: int = 2
+
+
+class MemoryHierarchy:
+    """Timing model of the instruction fetch path."""
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config or HierarchyConfig()
+        self.l1i = SetAssocCache(self.config.l1i)
+        self.l2 = SetAssocCache(self.config.l2)
+        self.llc = SetAssocCache(self.config.llc)
+        # Pending prefetch requests: list of line addresses (FIFO).
+        self._prefetch_queue: list[int] = []
+        self.demand_fetches = 0
+        self.prefetches_issued = 0
+        self.prefetches_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+
+    def fetch_line(self, addr: int, cycle: int) -> tuple[bool, int]:
+        """Demand-fetch the line containing ``addr``.
+
+        Returns ``(l1i_hit, ready_cycle)`` — the cycle the instruction
+        bytes are available to decode.
+        """
+        self.demand_fetches += 1
+        fill = 0 if self.l1i.probe(addr) else self._fill_latency_below_l1i(addr, cycle)
+        hit, ready = self.l1i.access(addr, cycle, fill)
+        return hit, ready
+
+    def _fill_latency_below_l1i(self, addr: int, cycle: int) -> int:
+        """Latency beyond the L1I for a line the L1I is about to miss on."""
+        llc_fill = self.config.dram_latency if not self.llc.probe(addr) else 0
+        l2_fill = 0
+        if not self.l2.probe(addr):
+            _, llc_ready = self.llc.access(addr, cycle, llc_fill)
+            l2_fill = llc_ready - cycle
+        _, l2_ready = self.l2.access(addr, cycle, l2_fill)
+        return l2_ready - cycle
+
+    # ------------------------------------------------------------------
+    # Prefetch path
+    # ------------------------------------------------------------------
+
+    def enqueue_prefetch(self, addr: int) -> bool:
+        """Queue a prefetch for the line containing ``addr``.
+
+        Returns False (dropped) when the queue is full or the line is
+        already present/queued.
+        """
+        line = self.l1i.line_of(addr)
+        if self.l1i.probe(addr):
+            return False
+        if line in self._prefetch_queue:
+            return False
+        if len(self._prefetch_queue) >= self.config.prefetch_queue_entries:
+            self.prefetches_dropped += 1
+            return False
+        self._prefetch_queue.append(line)
+        return True
+
+    def tick_prefetch(self, cycle: int) -> tuple[int, int] | None:
+        """Issue at most one queued prefetch this cycle.
+
+        Returns ``(line_addr, ready_cycle)`` for the issued prefetch, or
+        None when the queue is empty.
+        """
+        if not self._prefetch_queue:
+            return None
+        line = self._prefetch_queue.pop(0)
+        addr = line * self.config.l1i.line_size
+        if self.l1i.probe(addr):
+            return addr, cycle  # arrived in the meantime
+        self.prefetches_issued += 1
+        fill = self._fill_latency_below_l1i(addr, cycle)
+        _, ready = self.l1i.access(addr, cycle, fill)
+        # Do not let the prefetch inflate demand-miss statistics.
+        self.l1i.misses -= 1
+        return addr, ready
+
+    @property
+    def prefetch_queue_occupancy(self) -> int:
+        return len(self._prefetch_queue)
+
+    def __repr__(self) -> str:
+        return "MemoryHierarchy(L1I→L2→LLC→DRAM)"

@@ -1,0 +1,246 @@
+"""The µ-op cache: storage, entry building, and prefetch provenance.
+
+Geometry follows the paper's baseline (Table II): 4Kops as 64 sets × 8 ways
+× 8 µ-ops per entry, one entry covering (part of) a 32B region, 1-cycle
+hit, LRU, 2 ports with even/odd set-interleaved tag banks.
+
+Entries are built by :class:`UopEntryBuilder` as instructions decode,
+terminating on the rules of Section II: (1) a predicted-taken branch,
+(2) crossing the 32B region boundary, (3) reaching 8 µ-ops, and (4) a
+third branch (two branch-target fields per entry).  An entry is keyed by
+its *start PC*: the frontend looks up the µ-op cache with the next fetch
+address, and streaming continues entry-to-entry while starts line up.
+
+For UCP, entries remember whether a prefetch inserted them and whether
+they have been used since — the raw data of the paper's prefetch-accuracy
+and late-usefulness numbers (Section VI-D, Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.stats import StatBlock
+
+#: Bytes of code one µ-op cache entry may span.
+REGION_BYTES = 32
+
+
+@dataclass(frozen=True)
+class UopCacheConfig:
+    n_sets: int = 64
+    ways: int = 8
+    uops_per_entry: int = 8
+    max_branches_per_entry: int = 2
+    hit_latency: int = 1
+    n_banks: int = 2
+    #: CLASP-style relaxation (Kotra & Kalamatianos, MICRO'20 — paper
+    #: Section VII-E): entries are no longer terminated at 32B region
+    #: boundaries, reducing fragmentation at the cost of wider entries.
+    clasp: bool = False
+    #: Keep the µ-op cache included in the L1I: evicting an L1I line
+    #: invalidates the entries it covers.  The paper argues against this
+    #: for a physically tagged µ-op cache (it caps the cached code at the
+    #: L1I size) and uses a non-inclusive design to maximise reach
+    #: (Section IV-G-2); the knob exists for the ablation.
+    l1i_inclusive: bool = False
+
+    @property
+    def capacity_uops(self) -> int:
+        return self.n_sets * self.ways * self.uops_per_entry
+
+    @property
+    def storage_kb(self) -> float:
+        # One ARMv8-class µ-op ≈ 4B payload + entry overhead ≈ 1B/µ-op.
+        return self.capacity_uops * 5 / 1024
+
+
+class UopCacheEntry:
+    """One µ-op cache entry: a run of µ-ops starting at ``start_pc``."""
+
+    __slots__ = ("start_pc", "n_uops", "end_pc", "next_pc", "from_prefetch", "used")
+
+    def __init__(self, start_pc: int, n_uops: int, next_pc: int, from_prefetch: bool = False) -> None:
+        self.start_pc = start_pc
+        self.n_uops = n_uops
+        self.end_pc = start_pc + 4 * (n_uops - 1)  # pc of the last µ-op
+        #: PC the stream continues at after this entry (fall-through or the
+        #: terminating taken-branch target at build time).
+        self.next_pc = next_pc
+        self.from_prefetch = from_prefetch
+        self.used = False
+
+    def __repr__(self) -> str:
+        return f"UopCacheEntry({self.start_pc:#x}, {self.n_uops} uops)"
+
+
+class UopCache:
+    """Set-associative µ-op cache keyed by entry start PC."""
+
+    def __init__(self, config: UopCacheConfig | None = None) -> None:
+        self.config = config or UopCacheConfig()
+        self._n_sets = self.config.n_sets
+        self._sets: list[dict[int, UopCacheEntry]] = [dict() for _ in range(self._n_sets)]
+        self.stats = StatBlock("uopcache")
+
+    def _set_index(self, pc: int) -> int:
+        return (pc // REGION_BYTES) % self._n_sets
+
+    def bank_of(self, pc: int) -> int:
+        """Tag bank (even/odd set interleaving) for port-conflict modelling."""
+        return (pc // REGION_BYTES) % self.config.n_banks
+
+    def lookup(self, pc: int) -> UopCacheEntry | None:
+        """Demand lookup: refreshes LRU and marks the entry used."""
+        entries = self._sets[self._set_index(pc)]
+        entry = entries.get(pc)
+        if entry is None:
+            self.stats.add("lookup_misses")
+            return None
+        self.stats.add("lookup_hits")
+        if entry.from_prefetch and not entry.used:
+            self.stats.add("prefetched_entries_used")
+        entry.used = True
+        del entries[pc]
+        entries[pc] = entry
+        return entry
+
+    def probe(self, pc: int) -> bool:
+        """Tag check with no side effects (UCP's pre-prefetch filter)."""
+        return pc in self._sets[self._set_index(pc)]
+
+    def insert(self, entry: UopCacheEntry) -> UopCacheEntry | None:
+        """Install ``entry``; returns the evicted entry, if any."""
+        entries = self._sets[self._set_index(entry.start_pc)]
+        victim = None
+        if entry.start_pc in entries:
+            # Rebuild of an existing entry: replace in place (keep use bit).
+            victim = entries.pop(entry.start_pc)
+            entry.used = victim.used and not entry.from_prefetch
+        elif len(entries) >= self.config.ways:
+            oldest_key = next(iter(entries))
+            victim = entries.pop(oldest_key)
+            self.stats.add("evictions")
+            if victim.from_prefetch and not victim.used:
+                self.stats.add("prefetched_entries_evicted_unused")
+        entries[entry.start_pc] = entry
+        self.stats.add("insertions")
+        if entry.from_prefetch:
+            self.stats.add("prefetch_insertions")
+        return victim
+
+    def invalidate_line(self, line_addr: int, line_size: int = 64) -> int:
+        """Invalidate every entry starting inside an evicted L1I line.
+
+        Maintains L1I inclusivity (Section IV-G-2).  Entries are keyed by
+        start PC, and a 64B line spans ``line_size / REGION_BYTES``
+        consecutive region-indexed sets, so only those sets are searched.
+        Returns the number of entries invalidated.
+        """
+        start = line_addr - line_addr % line_size
+        end = start + line_size
+        removed = 0
+        for region_start in range(start, end, REGION_BYTES):
+            entries = self._sets[self._set_index(region_start)]
+            victims = [pc for pc in entries if start <= pc < end]
+            for pc in victims:
+                del entries[pc]
+                removed += 1
+        if removed:
+            self.stats.add("inclusive_invalidations", removed)
+        return removed
+
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.stats["lookup_hits"] + self.stats["lookup_misses"]
+        if total == 0:
+            return 0.0
+        return self.stats["lookup_hits"] / total
+
+    def __repr__(self) -> str:
+        return (
+            f"UopCache({self.config.n_sets}x{self.config.ways}, "
+            f"{self.config.capacity_uops} uops)"
+        )
+
+
+class UopEntryBuilder:
+    """Accumulates decoded µ-ops into µ-op cache entries.
+
+    Feed it one decoded instruction at a time via :meth:`add`; it returns a
+    finished :class:`UopCacheEntry` whenever a termination rule fires.  The
+    builder is used both by the decode stage in build mode and by UCP's
+    alternate decoders.
+    """
+
+    def __init__(self, config: UopCacheConfig | None = None, from_prefetch: bool = False) -> None:
+        self.config = config or UopCacheConfig()
+        self.from_prefetch = from_prefetch
+        self._start_pc: int | None = None
+        self._count = 0
+        self._branches = 0
+
+    @property
+    def open_entry_start(self) -> int | None:
+        return self._start_pc
+
+    def add(self, pc: int, is_branch: bool, taken: bool, next_pc: int) -> list[UopCacheEntry]:
+        """Append one decoded µ-op; returns any entries that completed.
+
+        ``taken`` reflects the *predicted* direction at build time (the
+        paper terminates entries on predicted-taken branches).  Up to two
+        entries can close on one call (a discontinuity closes the old entry
+        and the new µ-op may immediately close its own).
+        """
+        completed: list[UopCacheEntry] = []
+
+        if self._start_pc is not None and pc != self._start_pc + 4 * self._count:
+            # Discontinuity (redirect): close what we have at the break.
+            entry = self.flush(next_pc=pc)
+            if entry is not None:
+                completed.append(entry)
+
+        if is_branch and self._start_pc is not None and (
+            self._branches >= self.config.max_branches_per_entry
+        ):
+            # Rule 4: a third branch starts a new entry in another way of
+            # the same set (it covers the same 32B region).
+            entry = self.flush(next_pc=pc)
+            if entry is not None:
+                completed.append(entry)
+
+        if self._start_pc is None:
+            self._start_pc = pc
+        if is_branch:
+            self._branches += 1
+        self._count += 1
+
+        closes = (
+            (is_branch and taken)  # rule 1: predicted-taken branch
+            or self._count >= self.config.uops_per_entry  # rule 3: 8 µ-ops
+        )
+        if not self.config.clasp:
+            # Rule 2: the next µ-op would cross the 32B region boundary.
+            region_end = (self._start_pc // REGION_BYTES + 1) * REGION_BYTES
+            closes = closes or pc + 4 >= region_end
+        if closes:
+            entry = self.flush(next_pc=next_pc)
+            if entry is not None:
+                completed.append(entry)
+        return completed
+
+    def flush(self, next_pc: int = 0) -> UopCacheEntry | None:
+        """Close the open entry (on redirects/flushes); None if empty."""
+        if self._start_pc is None or self._count == 0:
+            self._start_pc = None
+            return None
+        entry = UopCacheEntry(
+            self._start_pc, self._count, next_pc, from_prefetch=self.from_prefetch
+        )
+        self._start_pc = None
+        self._count = 0
+        self._branches = 0
+        return entry

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``workloads``
+    List the built-in workload suite with footprint statistics.
+``simulate WORKLOAD``
+    Run one simulation and print a result report.  Flags select the
+    configuration: ``--ucp`` (and its variants), ``--no-uop-cache``,
+    ``--ideal-uop-cache``, ``--prefetcher``, ``--mrc``.
+``experiment NAME``
+    Run one paper experiment (``fig02`` … ``fig16``, ``taba``) and print
+    its table; ``--full`` uses the whole suite.
+``export WORKLOAD FILE``
+    Materialise a workload trace to ``.npz`` (binary) or ``.txt`` (text).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.core import SimConfig, simulate
+from repro.core.configs import UCPConfig
+from repro.workloads import SUITE, load_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Alternate Path u-op Cache Prefetching (ISCA 2024) reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("workloads", help="list the built-in workload suite")
+
+    sim = commands.add_parser("simulate", help="simulate one workload")
+    sim.add_argument("workload", choices=sorted(SUITE))
+    sim.add_argument("--instructions", type=int, default=20_000)
+    group = sim.add_mutually_exclusive_group()
+    group.add_argument("--no-uop-cache", action="store_true")
+    group.add_argument("--ideal-uop-cache", action="store_true")
+    sim.add_argument("--ucp", action="store_true", help="enable UCP")
+    sim.add_argument(
+        "--ucp-variant",
+        choices=["noind", "till-l1i", "shared-decoders", "ideal-btb", "tage-conf"],
+        help="UCP flavour (implies --ucp)",
+    )
+    sim.add_argument("--stop-threshold", type=int, default=500)
+    sim.add_argument(
+        "--prefetcher",
+        choices=["next_line", "fnl_mma", "fnl_mma++", "djolt", "ep", "ep++"],
+    )
+    sim.add_argument("--mrc", type=int, metavar="ENTRIES")
+    sim.add_argument("--uop-kops", type=int, choices=[4, 8, 16, 32, 64])
+
+    experiment = commands.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument("name")
+    experiment.add_argument("--full", action="store_true")
+
+    export = commands.add_parser("export", help="export a workload trace")
+    export.add_argument("workload", choices=sorted(SUITE))
+    export.add_argument("path")
+    export.add_argument("--instructions", type=int, default=20_000)
+    return parser
+
+
+def _simulate(args: argparse.Namespace) -> int:
+    config = SimConfig()
+    if args.no_uop_cache:
+        config = config.without_uop_cache()
+    if args.ideal_uop_cache:
+        config = replace(config, ideal_uop_cache=True)
+    if args.uop_kops:
+        config = config.with_uop_cache_kops(args.uop_kops)
+    if args.prefetcher:
+        config = replace(config, l1i_prefetcher=args.prefetcher)
+    if args.mrc:
+        config = replace(config, mrc_entries=args.mrc)
+    if args.ucp or args.ucp_variant:
+        overrides = {
+            None: {},
+            "noind": {"use_indirect": False},
+            "till-l1i": {"till_l1i_only": True},
+            "shared-decoders": {"shared_decoders": True},
+            "ideal-btb": {"ideal_btb_banking": True},
+            "tage-conf": {"confidence": "tage"},
+        }[args.ucp_variant]
+        config = replace(
+            config,
+            ucp=UCPConfig(enabled=True, stop_threshold=args.stop_threshold, **overrides),
+        )
+
+    trace = load_workload(args.workload, args.instructions).trace
+    result = simulate(trace, config)
+    print(f"workload            {args.workload} ({args.instructions} instructions)")
+    print(f"IPC                 {result.ipc:.4f}")
+    print(f"cycles              {result.cycles}")
+    print(f"u-op cache hit rate {result.uop_hit_rate:.1f}%")
+    print(f"mode switches PKI   {result.switch_pki:.2f}")
+    print(f"conditional MPKI    {result.cond_mpki:.2f}")
+    if config.ucp.enabled:
+        window = result.window
+        print(f"UCP walks           {window.get('ucp_walks_started', 0)}")
+        print(f"UCP entries         {window.get('ucp_entries_prefetched', 0)}")
+        print(f"prefetch accuracy   {result.prefetch_accuracy:.1f}%")
+    return 0
+
+
+def _workloads() -> int:
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for name in SUITE:
+        spec = load_workload(name, 10_000)
+        stats = spec.trace.stats()
+        rows.append(
+            (
+                name,
+                f"{stats.static_code_bytes / 1024:.0f}KB",
+                stats.conditional_branches,
+                f"{stats.conditional_taken_rate:.2f}",
+            )
+        )
+    print(
+        format_table(
+            "Workload suite (10K-instruction sample)",
+            ["name", "touched code", "cond branches", "taken rate"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; choose from {sorted(EXPERIMENTS)}")
+        return 2
+    from repro.experiments import FULL, QUICK
+
+    module = EXPERIMENTS[args.name]
+    result = module.run(FULL if args.full else QUICK)
+    print(module.render(result))
+    return 0
+
+
+def _export(args: argparse.Namespace) -> int:
+    trace = load_workload(args.workload, args.instructions).trace
+    if args.path.endswith(".txt"):
+        from repro.isa.textio import dump_text
+
+        dump_text(trace, args.path)
+    else:
+        trace.save(args.path)
+    print(f"wrote {len(trace)} instructions to {args.path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "workloads":
+        return _workloads()
+    if args.command == "simulate":
+        return _simulate(args)
+    if args.command == "experiment":
+        return _experiment(args)
+    if args.command == "export":
+        return _export(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

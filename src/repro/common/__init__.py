@@ -1,0 +1,23 @@
+"""Shared low-level building blocks used across the simulator.
+
+This package holds the hardware-flavoured primitives that every other
+subsystem is assembled from: saturating counters, global-history registers
+with folded (CSR) views, LRU replacement state, and statistics helpers.
+"""
+
+from repro.common.counters import SaturatingCounter, SignedSaturatingCounter
+from repro.common.history import FoldedHistory, GlobalHistory
+from repro.common.lru import LRUSet
+from repro.common.stats import StatBlock, amean, geomean, percent
+
+__all__ = [
+    "SaturatingCounter",
+    "SignedSaturatingCounter",
+    "GlobalHistory",
+    "FoldedHistory",
+    "LRUSet",
+    "StatBlock",
+    "amean",
+    "geomean",
+    "percent",
+]

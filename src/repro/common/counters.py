@@ -1,0 +1,124 @@
+"""Saturating counters, the workhorse state element of branch predictors.
+
+Two flavours are provided:
+
+* :class:`SaturatingCounter` — an unsigned counter in ``[0, 2**bits - 1]``.
+* :class:`SignedSaturatingCounter` — a two's-complement-style counter in
+  ``[-(2**(bits-1)), 2**(bits-1) - 1]``, matching the convention used by
+  TAGE/ITTAGE prediction counters in the paper (e.g. a 3-bit counter spans
+  -4..3 and "saturated" means -4/3, "weak" means -1/0).
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An unsigned saturating counter with ``bits`` bits of state."""
+
+    __slots__ = ("bits", "max_value", "value")
+
+    def __init__(self, bits: int, value: int = 0) -> None:
+        if bits < 1:
+            raise ValueError(f"counter needs at least 1 bit, got {bits}")
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        if not 0 <= value <= self.max_value:
+            raise ValueError(f"initial value {value} out of range for {bits} bits")
+        self.value = value
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` and clamp to the maximum; returns the new value."""
+        self.value = min(self.max_value, self.value + amount)
+        return self.value
+
+    def decrement(self, amount: int = 1) -> int:
+        """Subtract ``amount`` and clamp to zero; returns the new value."""
+        self.value = max(0, self.value - amount)
+        return self.value
+
+    def reset(self, value: int = 0) -> None:
+        if not 0 <= value <= self.max_value:
+            raise ValueError(f"reset value {value} out of range for {self.bits} bits")
+        self.value = value
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.value == self.max_value
+
+    @property
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(bits={self.bits}, value={self.value})"
+
+
+class SignedSaturatingCounter:
+    """A signed saturating counter spanning ``[-(2**(bits-1)), 2**(bits-1)-1]``.
+
+    The *prediction* is the sign: values >= 0 predict taken.  ``strength``
+    expresses how far the counter sits from the weak centre, which is what
+    TAGE confidence estimation keys on (paper Section IV-A / Fig. 6a).
+    """
+
+    __slots__ = ("bits", "min_value", "max_value", "value")
+
+    def __init__(self, bits: int, value: int = 0) -> None:
+        if bits < 2:
+            raise ValueError(f"signed counter needs at least 2 bits, got {bits}")
+        self.bits = bits
+        self.min_value = -(1 << (bits - 1))
+        self.max_value = (1 << (bits - 1)) - 1
+        if not self.min_value <= value <= self.max_value:
+            raise ValueError(f"initial value {value} out of range for {bits} bits")
+        self.value = value
+
+    def update(self, taken: bool) -> int:
+        """Nudge toward taken (+) or not-taken (-); returns the new value."""
+        if taken:
+            self.value = min(self.max_value, self.value + 1)
+        else:
+            self.value = max(self.min_value, self.value - 1)
+        return self.value
+
+    def reset(self, value: int = 0) -> None:
+        if not self.min_value <= value <= self.max_value:
+            raise ValueError(f"reset value {value} out of range for {self.bits} bits")
+        self.value = value
+
+    @property
+    def prediction(self) -> bool:
+        """Predicted direction: taken iff the counter is non-negative."""
+        return self.value >= 0
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.value in (self.min_value, self.max_value)
+
+    @property
+    def is_weak(self) -> bool:
+        """True when the counter sits at the weak centre (-1 or 0)."""
+        return self.value in (-1, 0)
+
+    @property
+    def strength(self) -> int:
+        """Distance from the weak centre: 0 for -1/0, up to ``2**(bits-1)-1``."""
+        if self.value >= 0:
+            return self.value
+        return -self.value - 1
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"SignedSaturatingCounter(bits={self.bits}, value={self.value})"
+
+
+def clamp(value: int, low: int, high: int) -> int:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty interval [{low}, {high}]")
+    return max(low, min(high, value))

@@ -1,0 +1,49 @@
+"""True-LRU replacement state for one cache set.
+
+Kept intentionally simple: an ordered list of way indices, most recently
+used last.  Caches in this repo are small enough (<= 64 ways) that the
+O(ways) list operations are irrelevant next to the rest of the simulation.
+"""
+
+from __future__ import annotations
+
+
+class LRUSet:
+    """Tracks recency among ``ways`` ways of a single cache set."""
+
+    __slots__ = ("ways", "_order")
+
+    def __init__(self, ways: int) -> None:
+        if ways < 1:
+            raise ValueError("a set needs at least one way")
+        self.ways = ways
+        # Invalid/never-touched ways start at the LRU end in way order.
+        self._order: list[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        """Mark ``way`` most recently used."""
+        self._check(way)
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        """Return the least recently used way (does not touch it)."""
+        return self._order[0]
+
+    def demote(self, way: int) -> None:
+        """Force ``way`` to LRU position (used on invalidation)."""
+        self._check(way)
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def recency(self, way: int) -> int:
+        """0 == LRU, ways-1 == MRU."""
+        self._check(way)
+        return self._order.index(way)
+
+    def _check(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise IndexError(f"way {way} out of range for {self.ways}-way set")
+
+    def __repr__(self) -> str:
+        return f"LRUSet(ways={self.ways}, lru_to_mru={self._order})"

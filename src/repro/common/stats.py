@@ -1,0 +1,90 @@
+"""Statistics plumbing shared by the simulator and the experiment drivers.
+
+The paper reports geometric means for speedups and arithmetic means for
+other metrics (Section V); :func:`geomean` and :func:`amean` mirror that.
+:class:`StatBlock` is a tiny named-counter container every pipeline
+component uses so that experiments can introspect any counter by name.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from collections.abc import Iterable
+
+
+def amean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty input."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty input."""
+    values = list(values)
+    if not values:
+        return 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean requires positive values, got {value}")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def geomean_speedup(ratios: Iterable[float]) -> float:
+    """Geometric-mean speedup expressed in percent (paper convention)."""
+    return (geomean(ratios) - 1.0) * 100.0
+
+
+def percent(numerator: float, denominator: float) -> float:
+    """Safe percentage; 0.0 when the denominator is zero."""
+    if denominator == 0:
+        return 0.0
+    return 100.0 * numerator / denominator
+
+
+def per_kilo(numerator: float, denominator: float) -> float:
+    """Events per kilo-unit (e.g. switches or mispredictions PKI)."""
+    if denominator == 0:
+        return 0.0
+    return 1000.0 * numerator / denominator
+
+
+class StatBlock:
+    """A named bag of integer counters with hierarchical names.
+
+    Components bump counters via :meth:`add`; experiment drivers read them
+    back via indexing.  Unknown counters read as zero, which keeps callers
+    free of existence checks when a feature (e.g. UCP) is disabled.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counters: dict[str, int] = defaultdict(int)
+
+    def add(self, key: str, amount: int = 1) -> None:
+        self._counters[key] += amount
+
+    def set(self, key: str, value: int) -> None:
+        self._counters[key] = value
+
+    def __getitem__(self, key: str) -> int:
+        return self._counters.get(key, 0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def keys(self) -> list[str]:
+        return sorted(self._counters)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    def merge(self, other: "StatBlock", prefix: str = "") -> None:
+        """Fold another block's counters into this one."""
+        for key, value in other._counters.items():
+            self._counters[prefix + key] += value
+
+    def __repr__(self) -> str:
+        return f"StatBlock({self.name!r}, {len(self._counters)} counters)"

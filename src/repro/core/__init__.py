@@ -1,0 +1,27 @@
+"""The paper's core: the pipeline model and UCP itself.
+
+* :mod:`repro.core.configs` — simulation configuration (paper Table II
+  baseline plus UCP and experiment knobs).
+* :mod:`repro.core.codemap` — dynamically discovered static code map used
+  by the alternate-path walker.
+* :mod:`repro.core.backend` — the abstract occupancy-limited backend.
+* :mod:`repro.core.pipeline` — the cycle-level simulator tying BPU, FTQ,
+  fetch engine, µ-op cache, memory hierarchy, backend and UCP together.
+* :mod:`repro.core.ucp` — alternate-path µ-op cache prefetching (UCP),
+  the paper's contribution, with all its variants.
+* :mod:`repro.core.weights` — the stop-heuristic weights of paper Table I.
+* :mod:`repro.core.mrc` — the Misprediction Recovery Cache baseline.
+"""
+
+from repro.core.configs import BackendConfig, FrontendConfig, SimConfig, UCPConfig
+from repro.core.pipeline import SimResult, Simulator, simulate
+
+__all__ = [
+    "SimConfig",
+    "FrontendConfig",
+    "BackendConfig",
+    "UCPConfig",
+    "Simulator",
+    "SimResult",
+    "simulate",
+]

@@ -1,0 +1,130 @@
+"""Abstract occupancy-limited backend.
+
+The paper's phenomena live in the frontend; the backend's job here is to
+(a) consume µ-ops at a realistic, dependency-limited rate, (b) resolve
+branches after a realistic depth, and (c) fill/drain the ROB so that
+frontend supply gaps show up as commit stalls.  Three mechanisms provide
+that:
+
+* per-instruction execution latency by class (simple / load-like / branch),
+  with load-likeness decided by a PC hash;
+* a synthetic dependency: each instruction depends on an instruction a
+  hashed distance (1..dep_window) earlier in program order and cannot
+  complete before it — this bounds sustainable ILP the way real dependency
+  chains do, so a wider µ-op supply only helps when the pipeline is
+  refilling (exactly the paper's observation in Section III-C);
+* in-order commit with a bounded ROB.
+
+Branches resolve at their completion time, which the simulator uses to
+schedule misprediction redirects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.stats import StatBlock
+from repro.core.configs import BackendConfig
+from repro.isa.instruction import BranchClass
+from repro.isa.trace import Trace
+
+
+def _pc_hash(pc: int) -> int:
+    value = pc >> 2
+    value ^= value >> 7
+    value ^= value >> 13
+    return value & 0xFFFF
+
+
+class Backend:
+    """Dispatch → (dependency-limited) execute → in-order commit."""
+
+    def __init__(self, config: BackendConfig, trace: Trace, stats: StatBlock) -> None:
+        self.config = config
+        self.trace = trace
+        self.stats = stats
+        #: Completion cycle per dispatched trace index.  Kept for the whole
+        #: run: traces are tens of kilo-instructions, so this stays small,
+        #: and it doubles as the dependency-lookup table.
+        self._completion: dict[int, int] = {}
+        #: ROB: (trace_index, completion_cycle), dispatch order.
+        self._rob: deque[tuple[int, int]] = deque()
+        self.committed = 0
+        #: Completions scheduled per cycle (virtual execution ports).
+        self._exec_busy: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def rob_has_room(self) -> bool:
+        return len(self._rob) < self.config.rob_entries
+
+    def dispatch(self, index: int, cycle: int) -> int:
+        """Dispatch one µ-op; returns its completion cycle."""
+        pc = int(self.trace.pcs[index])
+        branch_class = self.trace.branch_classes[index]
+        h = _pc_hash(pc)
+
+        if branch_class != BranchClass.NOT_BRANCH:
+            # Branches resolve a fixed depth after dispatch, independent of
+            # the synthetic dependency chain: real OOO cores prioritise
+            # branch resolution (the compare feeding a branch is almost
+            # always ready), so the misprediction penalty must not grow
+            # with the distance to the previous misprediction.
+            # Branches also bypass the issue-width booking: they execute on
+            # a dedicated branch port, so resolution is not queued behind
+            # the ALU backlog.
+            completion = cycle + 1 + self.config.branch_latency
+            self._completion[index] = completion
+            self._rob.append((index, completion))
+            return completion
+
+        if h % self.config.load_hash_mod == 0:
+            if (h >> 8) % self.config.long_load_every == 0:
+                latency = self.config.long_load_latency  # data-cache miss
+            else:
+                latency = self.config.load_latency
+        else:
+            latency = self.config.simple_latency
+        distance = 1 + (h >> 4) % self.config.dep_window
+        dep_done = self._completion.get(index - distance, 0)
+        completion = self._schedule(max(cycle + 1, dep_done) + latency)
+        self._completion[index] = completion
+        self._rob.append((index, completion))
+        return completion
+
+    def _schedule(self, earliest: int) -> int:
+        """Book an execution-completion slot at or after ``earliest``."""
+        busy = self._exec_busy
+        width = self.config.issue_width
+        cycle = earliest
+        while busy.get(cycle, 0) >= width:
+            cycle += 1
+        busy[cycle] = busy.get(cycle, 0) + 1
+        return cycle
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def commit(self, cycle: int) -> int:
+        """Retire up to ``commit_width`` completed µ-ops in order."""
+        retired = 0
+        while (
+            retired < self.config.commit_width
+            and self._rob
+            and self._rob[0][1] <= cycle
+        ):
+            self._rob.popleft()
+            retired += 1
+        self.committed += retired
+        return retired
+
+    @property
+    def rob_occupancy(self) -> int:
+        return len(self._rob)
+
+    def completion_of(self, index: int) -> int | None:
+        """Completion cycle of a dispatched (not yet retired) instruction."""
+        return self._completion.get(index)

@@ -1,0 +1,41 @@
+"""Dynamically discovered static code map.
+
+The alternate-path walker needs to know what instruction lives at an
+address it has *not* fetched on the current path: whether it is a branch,
+and of which class.  Real hardware gets this from pre-decode bits / the BTB
+/ the decoders; a trace-driven simulator gets it from the instructions the
+pipeline has already seen.  :class:`CodeMap` records
+``pc -> branch class`` as instructions are fetched, so the walker only ever
+reasons about code the machine could legitimately know about — walking into
+never-seen code stops the alternate path, which is exactly the paper's
+BTB-miss stop condition (Table I: BTB miss → weight ∞).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import BranchClass
+
+
+class CodeMap:
+    """pc -> :class:`BranchClass` for every instruction seen so far."""
+
+    def __init__(self) -> None:
+        self._classes: dict[int, int] = {}
+
+    def record(self, pc: int, branch_class: int) -> None:
+        self._classes[pc] = branch_class
+
+    def known(self, pc: int) -> bool:
+        return pc in self._classes
+
+    def branch_class(self, pc: int) -> BranchClass | None:
+        value = self._classes.get(pc)
+        if value is None:
+            return None
+        return BranchClass(value)
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __repr__(self) -> str:
+        return f"CodeMap({len(self._classes)} instructions)"

@@ -1,0 +1,66 @@
+"""Misprediction Recovery Cache (MRC) baseline — Nanda et al. [48].
+
+A fully-associative, LRU cache of decoded-µ-op streams.  On a branch
+misprediction, the MRC is probed with the corrected-path target: a hit
+streams up to 64 µ-ops directly to the backend (bypassing fetch/decode),
+a miss allocates an entry that records the next 64 correct-path µ-ops.
+
+The paper implements MRC as a comparison point in the cost/benefit study
+(Fig. 16): each entry stores a tag plus 64 µ-ops, so a 64-entry MRC costs
+≈ 16.5KB and scales linearly.
+"""
+
+from __future__ import annotations
+
+
+class MRC:
+    """Fully associative, LRU, tagged by corrected-path target PC.
+
+    Each entry remembers *which dynamic trace* it recorded (the trace index
+    at allocation): on a later hit, the stream is only valid up to the
+    point where the recorded path and the current path diverge — the
+    paper's explanation of why MRC underperforms ("records a single trace
+    among the many possible for each conditional branch").
+    """
+
+    UOPS_PER_ENTRY = 64
+    #: Approximate bits per entry: 64 µ-ops x ~4B + tag + LRU ≈ 264B.
+    BYTES_PER_ENTRY = 264
+
+    def __init__(self, n_entries: int = 64) -> None:
+        if n_entries < 1:
+            raise ValueError("MRC needs at least one entry")
+        self.n_entries = n_entries
+        #: target pc -> trace index the entry's µ-ops were recorded at.
+        self._entries: dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def uops_per_entry(self) -> int:
+        return self.UOPS_PER_ENTRY
+
+    @property
+    def storage_kb(self) -> float:
+        return self.n_entries * self.BYTES_PER_ENTRY / 1024
+
+    def access(self, target_pc: int, recorded_index: int = 0) -> int | None:
+        """Probe on a misprediction; allocates/records on miss.
+
+        Returns the trace index the hit entry recorded from, or None on a
+        miss (after recording ``recorded_index`` for next time).
+        """
+        previous = self._entries.get(target_pc)
+        if previous is not None:
+            self.hits += 1
+            del self._entries[target_pc]
+            self._entries[target_pc] = previous  # refresh LRU
+            return previous
+        self.misses += 1
+        if len(self._entries) >= self.n_entries:
+            del self._entries[next(iter(self._entries))]
+        self._entries[target_pc] = recorded_index
+        return None
+
+    def __repr__(self) -> str:
+        return f"MRC({self.n_entries} entries, ~{self.storage_kb:.1f}KB)"

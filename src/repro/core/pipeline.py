@@ -1,0 +1,254 @@
+"""The cycle-level simulator: BPU → FTQ → fetch → dispatch → backend.
+
+One :class:`Simulator` owns all structures for a single run of one trace
+under one :class:`~repro.core.configs.SimConfig`.  The per-cycle order is:
+
+1. commit (backend retires completed µ-ops in order);
+2. branch resolution (the single outstanding mispredicted branch — fetch
+   stalls at mispredictions, so there is at most one — redirects the BPU
+   and restarts fetch once its completion cycle is reached);
+3. dispatch (µ-op queue → backend, bounded by width and ROB room);
+4. fetch (stream/build modes, µ-op cache, L1I path);
+5. L1I prefetch queue issue (one per cycle);
+6. BPU address generation into the FTQ (decoupled fetch, FDP);
+7. UCP alternate-path walking and prefetching (when enabled).
+
+Statistics are collected over the post-warm-up window: counters are
+snapshotted when the commit count first passes ``warmup_fraction`` of the
+trace and the deltas reported in :class:`SimResult`.
+"""
+
+from __future__ import annotations
+
+from repro.branch.confidence import ConfidenceStats, tage_conf_is_h2p, ucp_conf_is_h2p
+from repro.caches.hierarchy import MemoryHierarchy
+from repro.caches.uopcache import UopCache
+from repro.common.stats import StatBlock, per_kilo, percent
+from repro.core.backend import Backend
+from repro.core.codemap import CodeMap
+from repro.core.configs import SimConfig
+from repro.core.mrc import MRC
+from repro.frontend.bpu import BPU, BranchEvent
+from repro.frontend.fetch import FetchEngine
+from repro.frontend.ftq import FTQ
+from repro.isa.trace import Trace
+from repro.prefetch.base import make_prefetcher
+from repro.prefetch.djolt import DJoltPrefetcher
+
+
+class SimResult:
+    """Outcome of one simulation: IPC plus the measured-window counters."""
+
+    def __init__(
+        self,
+        name: str,
+        config: SimConfig,
+        instructions: int,
+        cycles: int,
+        window: dict[str, int],
+        window_instructions: int,
+        window_cycles: int,
+        confidence: dict[str, ConfidenceStats],
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.instructions = instructions
+        self.cycles = cycles
+        self.window = window
+        self.window_instructions = window_instructions
+        self.window_cycles = window_cycles
+        self.confidence = confidence
+
+    @property
+    def ipc(self) -> float:
+        if self.window_cycles == 0:
+            return 0.0
+        return self.window_instructions / self.window_cycles
+
+    @property
+    def uop_hit_rate(self) -> float:
+        """Per-instruction µ-op cache hit rate (paper Fig. 3/13)."""
+        stream = self.window.get("uops_uop", 0)
+        build = self.window.get("uops_decode", 0)
+        mrc = self.window.get("uops_mrc", 0)
+        return percent(stream, stream + build + mrc)
+
+    @property
+    def switch_pki(self) -> float:
+        return per_kilo(self.window.get("mode_switches", 0), self.window_instructions)
+
+    @property
+    def cond_mpki(self) -> float:
+        return per_kilo(self.window.get("cond_mispredictions", 0), self.window_instructions)
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Timely UCP prefetches over issued (µ-op entry granularity)."""
+        issued = self.window.get("ucp_entries_prefetched", 0)
+        timely = self.window.get("ucp_entries_timely", 0)
+        return percent(timely, issued)
+
+    def __repr__(self) -> str:
+        return f"SimResult({self.name!r}, IPC={self.ipc:.3f})"
+
+
+class Simulator:
+    """Glue object wiring all components for one run."""
+
+    #: Safety valve: a run may not exceed this many cycles per instruction.
+    MAX_CPI = 400
+
+    def __init__(self, trace: Trace, config: SimConfig, name: str | None = None) -> None:
+        self.trace = trace
+        self.config = config
+        self.name = name or trace.name
+        self.stats = StatBlock(self.name)
+        self.codemap = CodeMap()
+        self.hierarchy = MemoryHierarchy(config.hierarchy)
+        self.uop_cache = UopCache(config.uop_cache) if config.uop_cache else None
+        if self.uop_cache is not None:
+            # Share the global counter block so µ-op cache events (incl.
+            # prefetch provenance) land in the measured window.
+            self.uop_cache.stats = self.stats
+            if config.uop_cache.l1i_inclusive:
+                line_size = self.hierarchy.config.l1i.line_size
+                self.hierarchy.l1i.on_evict = lambda line: self.uop_cache.invalidate_line(
+                    line * line_size, line_size
+                )
+        self.prefetcher = make_prefetcher(config.l1i_prefetcher)
+        self.mrc = MRC(config.mrc_entries) if config.mrc_entries else None
+        self.bpu = BPU(config, trace, self.stats, hierarchy=self.hierarchy, prefetcher=self.prefetcher)
+        self.fetch = FetchEngine(
+            config,
+            trace,
+            self.uop_cache,
+            self.hierarchy,
+            self.codemap,
+            self.stats,
+            prefetcher=self.prefetcher,
+            mrc=self.mrc,
+        )
+        self.backend = Backend(config.backend, trace, self.stats)
+        self.ftq = FTQ(config.frontend.ftq_capacity)
+        self.confidence = {
+            "tage": ConfidenceStats("tage"),
+            "ucp": ConfidenceStats("ucp"),
+        }
+        self.ucp = None
+        if config.ucp.enabled:
+            from repro.core.ucp import UCPEngine
+
+            self.ucp = UCPEngine(config, trace, self)
+            self.bpu.uncond_hook = self.ucp.on_unconditional
+            self.bpu.indirect_hook = self.ucp.on_indirect
+        self.bpu.branch_hook = self._on_conditional
+        if isinstance(self.prefetcher, DJoltPrefetcher):
+            self.bpu.context_hook = self.prefetcher.update_context
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def _on_conditional(self, event: BranchEvent, cycle: int) -> None:
+        prediction = event.prediction
+        self.confidence["tage"].record(tage_conf_is_h2p(prediction), event.mispredicted)
+        self.confidence["ucp"].record(ucp_conf_is_h2p(prediction), event.mispredicted)
+        if self.ucp is not None:
+            self.ucp.on_conditional(event, cycle)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        trace = self.trace
+        config = self.config
+        n = len(trace)
+        warmup_count = int(n * config.warmup_fraction)
+        warm_snapshot: dict[str, int] | None = None
+        warm_cycle = 0
+        cycle = 0
+        dispatch_width = config.backend.dispatch_width
+        max_cycles = self.MAX_CPI * max(1, n)
+
+        backend = self.backend
+        fetch = self.fetch
+        bpu = self.bpu
+        ftq = self.ftq
+        queue = fetch.uop_queue
+
+        while backend.committed < n:
+            backend.commit(cycle)
+
+            # Branch resolution: at most one outstanding misprediction.
+            stalled = bpu.stalled_on
+            if stalled is not None:
+                completion = backend.completion_of(stalled)
+                if completion is not None and completion <= cycle:
+                    bpu.redirect(cycle)
+                    fetch.on_redirect(cycle, stalled + 1)
+                    if self.ucp is not None:
+                        self.ucp.on_resolution(stalled, cycle)
+                    self.stats.add("resolved_mispredictions")
+
+            dispatched = 0
+            while (
+                dispatched < dispatch_width
+                and queue
+                and queue[0][1] <= cycle
+                and backend.rob_has_room()
+            ):
+                index, _ready = queue.popleft()
+                backend.dispatch(index, cycle)
+                dispatched += 1
+
+            fetch.tick(cycle, ftq)
+
+            filled = self.hierarchy.tick_prefetch(cycle)
+            if filled is not None:
+                line = filled[0] // self.hierarchy.config.l1i.line_size
+                if self.prefetcher is not None:
+                    self.prefetcher.on_prefetch_fill(line, filled[1])
+                if self.ucp is not None:
+                    self.ucp.on_prefetch_fill(line, filled[1])
+
+            bpu.generate(ftq, cycle)
+
+            if self.ucp is not None:
+                self.ucp.tick(cycle)
+
+            if warm_snapshot is None and backend.committed >= warmup_count:
+                warm_snapshot = self.stats.as_dict()
+                warm_cycle = cycle
+
+            cycle += 1
+            if cycle > max_cycles:
+                raise RuntimeError(
+                    f"{self.name}: no forward progress "
+                    f"(committed {backend.committed}/{n} after {cycle} cycles)"
+                )
+
+        if warm_snapshot is None:  # degenerate warmup fractions
+            warm_snapshot = {}
+            warm_cycle = 0
+            warmup_count = 0
+
+        window = {
+            key: value - warm_snapshot.get(key, 0)
+            for key, value in self.stats.as_dict().items()
+        }
+        return SimResult(
+            name=self.name,
+            config=config,
+            instructions=n,
+            cycles=cycle,
+            window=window,
+            window_instructions=n - warmup_count,
+            window_cycles=cycle - warm_cycle,
+            confidence=self.confidence,
+        )
+
+
+def simulate(trace: Trace, config: SimConfig, name: str | None = None) -> SimResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(trace, config, name=name).run()

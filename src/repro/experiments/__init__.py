@@ -1,0 +1,32 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Every module exposes ``run(scale)`` returning a result object with the
+numbers behind the corresponding paper figure, and ``render(result)``
+producing the text table/series.  ``scale`` (see
+:mod:`repro.experiments.common`) selects workloads and trace length;
+benchmarks default to ``QUICK``, the full reproduction uses ``FULL``.
+
+Index (see DESIGN.md for the complete mapping):
+
+===========  ===========================================================
+fig02        IPC impact of the 4Kops µ-op cache vs no µ-op cache
+fig03        µ-op cache hit rate and build/stream switch PKI
+fig04        µ-op cache size sweep (4K–64Kops) vs ideal
+fig05        L1I prefetchers vs alternate-path idealisations
+fig06        TAGE-SC-L per-component, per-confidence miss rates
+fig07        Misprediction contribution per predictor component
+fig09        H2P coverage/accuracy: TAGE-Conf vs UCP-Conf
+fig10        UCP and baseline IPC relative to no µ-op cache
+fig11        Per-trace UCP speedup vs conditional MPKI
+fig12        UCP variants: indirect predictor and confidence estimator
+fig13        µ-op cache hit rate under UCP
+fig14        UCP prefetch accuracy
+fig15        Stopping-threshold sensitivity (µ-op cache vs L1I-only)
+fig16        Storage-vs-speedup Pareto of UCP and all baselines
+taba         Artifact variant table (UCP / TillL1I / Shared / IdealBTB)
+===========  ===========================================================
+"""
+
+from repro.experiments.common import FULL, QUICK, Scale, baseline_config
+
+__all__ = ["Scale", "QUICK", "FULL", "baseline_config"]

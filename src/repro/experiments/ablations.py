@@ -1,0 +1,158 @@
+"""Ablations of the simulator's design points.
+
+These are not paper figures; they probe the design choices the paper
+discusses in prose (Sections II and IV-G) and the modelling decisions
+DESIGN.md calls out:
+
+* :func:`mode_switch_penalty` — the build↔stream switch penalty that makes
+  the µ-op cache a liability for thrashing workloads (Section II/III-A);
+* :func:`ftq_depth` — decoupling depth: how far the BPU runs ahead
+  determines how much L1I latency FDP hides (Section II);
+* :func:`walk_width` — UCP's alternate-path address-generation bandwidth;
+* :func:`isa_statefulness` — x86 stateful vs ARM stateless alternate
+  decode (Section IV-G-1);
+* :func:`l1i_inclusivity` — L1I-inclusive vs non-inclusive µ-op cache
+  (Section IV-G-2; the paper argues non-inclusive maximises reach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import (
+    QUICK,
+    Scale,
+    baseline_config,
+    geomean_speedup_pct,
+    no_uop_config,
+    run_all,
+    ucp_config,
+)
+
+
+@dataclass
+class AblationResult:
+    title: str
+    #: (variant label, geomean speedup % vs the ablation's reference).
+    rows: list[tuple[str, float]]
+
+    def value(self, label: str) -> float:
+        for row_label, value in self.rows:
+            if row_label == label:
+                return value
+        raise KeyError(label)
+
+    def render(self) -> str:
+        return format_table(self.title, ["variant", "speedup %"], self.rows)
+
+
+def mode_switch_penalty(scale: Scale = QUICK, penalties=(0, 1, 2, 4)) -> AblationResult:
+    """µ-op cache gain vs no-µ-op-cache, per switch penalty."""
+    rows = []
+    for penalty in penalties:
+        config = baseline_config()
+        config = replace(
+            config, frontend=replace(config.frontend, mode_switch_penalty=penalty)
+        )
+        reference = run_all(replace(config, uop_cache=None), scale)
+        results = run_all(config, scale)
+        rows.append((f"penalty={penalty}", geomean_speedup_pct(results, reference)))
+    return AblationResult("Ablation: build<->stream switch penalty", rows)
+
+
+def ftq_depth(scale: Scale = QUICK, depths=(32, 96, 192, 384)) -> AblationResult:
+    """IPC vs the 192-entry FTQ baseline, per decoupling depth."""
+    reference = run_all(baseline_config(), scale)
+    rows = []
+    for depth in depths:
+        config = baseline_config()
+        config = replace(config, frontend=replace(config.frontend, ftq_capacity=depth))
+        results = run_all(config, scale)
+        rows.append((f"ftq={depth}", geomean_speedup_pct(results, reference)))
+    return AblationResult("Ablation: FTQ depth (decoupling run-ahead)", rows)
+
+
+def walk_width(scale: Scale = QUICK, widths=(2, 8, 16)) -> AblationResult:
+    """UCP gain over baseline per alternate-path walk bandwidth."""
+    reference = run_all(baseline_config(), scale)
+    rows = []
+    for width in widths:
+        results = run_all(ucp_config(walk_instructions_per_cycle=width), scale)
+        rows.append((f"walk={width}/cycle", geomean_speedup_pct(results, reference)))
+    return AblationResult("Ablation: UCP alternate-path walk width", rows)
+
+
+def isa_statefulness(scale: Scale = QUICK) -> AblationResult:
+    """UCP gain with stateless (ARM) vs stateful (x86) alternate decode."""
+    reference = run_all(baseline_config(), scale)
+    rows = []
+    for label, stateful in (("stateless (ARMv8)", False), ("stateful (x86)", True)):
+        config = replace(ucp_config(), isa_stateful_decode=stateful)
+        results = run_all(config, scale)
+        rows.append((label, geomean_speedup_pct(results, reference)))
+    return AblationResult("Ablation: decode statefulness (Section IV-G-1)", rows)
+
+
+def btb_organization(scale: Scale = QUICK) -> AblationResult:
+    """UCP gain over baseline with instruction vs region BTB organisation.
+
+    With a region BTB, the demand and alternate paths usually share one
+    entry per region, so UCP sees far fewer BTB bank conflicts
+    (Section IV-C's suggested alternative to doubled banking)."""
+    rows = []
+    for label, organization in (("instruction BTB", "instruction"), ("region BTB", "region")):
+        base = baseline_config()
+        base = replace(base, btb=replace(base.btb, organization=organization))
+        reference = run_all(base, scale)
+        results = run_all(replace(base, ucp=ucp_config().ucp), scale)
+        rows.append((label, geomean_speedup_pct(results, reference)))
+    return AblationResult("Ablation: BTB organisation under UCP", rows)
+
+
+def clasp(scale: Scale = QUICK) -> AblationResult:
+    """Baseline µ-op hit rate & gain with/without CLASP entry relaxation.
+
+    CLASP (Kotra & Kalamatianos, paper Section VII-E) removes the region-
+    boundary termination rule, cutting fragmentation."""
+    reference = run_all(no_uop_config(), scale)
+    rows = []
+    from repro.common.stats import amean
+
+    for label, enabled in (("strict regions (paper)", False), ("CLASP", True)):
+        config = baseline_config()
+        config = replace(config, uop_cache=replace(config.uop_cache, clasp=enabled))
+        results = run_all(config, scale)
+        gain = geomean_speedup_pct(results, reference)
+        hit = amean([r.uop_hit_rate for r in results.values()])
+        rows.append((f"{label} (hit {hit:.1f}%)", gain))
+    return AblationResult("Ablation: CLASP entry termination", rows)
+
+
+def confidence_family(scale: Scale = QUICK) -> AblationResult:
+    """UCP triggered by UCP-Conf vs TAGE-Conf vs a hashed perceptron.
+
+    The perceptron flavour is the other storage-free confidence family the
+    paper's related work discusses (Akkary et al., Section VII-D)."""
+    reference = run_all(baseline_config(), scale)
+    rows = []
+    for label, source in (
+        ("UCP-Conf", "ucp"),
+        ("TAGE-Conf", "tage"),
+        ("perceptron", "perceptron"),
+    ):
+        results = run_all(ucp_config(confidence=source), scale)
+        rows.append((label, geomean_speedup_pct(results, reference)))
+    return AblationResult("Ablation: H2P confidence family", rows)
+
+
+def l1i_inclusivity(scale: Scale = QUICK) -> AblationResult:
+    """µ-op cache gain with and without L1I inclusivity."""
+    reference = run_all(no_uop_config(), scale)
+    rows = []
+    for label, inclusive in (("non-inclusive (paper)", False), ("L1I-inclusive", True)):
+        config = baseline_config()
+        config = replace(config, uop_cache=replace(config.uop_cache, l1i_inclusive=inclusive))
+        results = run_all(config, scale)
+        rows.append((label, geomean_speedup_pct(results, reference)))
+    return AblationResult("Ablation: L1I inclusivity (Section IV-G-2)", rows)

@@ -1,0 +1,58 @@
+"""Fig. 2 — IPC improvement of a 4Kops µ-op cache over no µ-op cache.
+
+Paper findings: beneficial for ~80.7% of traces, small slowdowns (mode-
+switch penalty) for the rest; improvements range roughly -2% to +6%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.common.stats import geomean
+from repro.experiments.common import (
+    QUICK,
+    Scale,
+    baseline_config,
+    no_uop_config,
+    run_all,
+    speedup_pct,
+)
+
+
+@dataclass
+class Fig02Result:
+    #: (workload, speedup %) sorted ascending by speedup, as in the figure.
+    speedups: list[tuple[str, float]]
+    geomean_pct: float
+
+    @property
+    def fraction_benefiting(self) -> float:
+        if not self.speedups:
+            return 0.0
+        positive = sum(1 for _, pct in self.speedups if pct > 0)
+        return positive / len(self.speedups)
+
+
+def run(scale: Scale = QUICK) -> Fig02Result:
+    base = run_all(baseline_config(), scale)
+    no_uop = run_all(no_uop_config(), scale)
+    speedups = sorted(
+        ((name, speedup_pct(base[name], no_uop[name])) for name in scale.workloads),
+        key=lambda item: item[1],
+    )
+    ratios = [base[name].ipc / no_uop[name].ipc for name in scale.workloads]
+    return Fig02Result(speedups, 100.0 * (geomean(ratios) - 1.0))
+
+
+def render(result: Fig02Result) -> str:
+    table = format_table(
+        "Fig. 2: IPC improvement of 4Kops u-op cache vs no u-op cache",
+        ["trace", "speedup %"],
+        result.speedups,
+    )
+    return (
+        f"{table}\n"
+        f"geomean: {result.geomean_pct:.2f}%   "
+        f"benefiting: {100 * result.fraction_benefiting:.1f}% of traces"
+    )

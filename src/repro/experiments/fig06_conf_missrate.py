@@ -1,0 +1,55 @@
+"""Fig. 6 — misprediction rate per TAGE-SC-L component per counter value.
+
+Paper findings: saturated HitBank/bimodal counters miss almost never, but
+bimodal with a recent miss ("\\>1in8") misses >6% even when saturated;
+AltBank predictions miss heavily at *any* counter value; loop-predictor
+predictions are reliable (<3%); SC miss rates range 10–50% depending on
+|LSUM|.  These observations justify the UCP-Conf classification rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.branch.tage_sc_l import Provider
+from repro.common.stats import percent
+from repro.experiments.common import QUICK, Scale
+from repro.experiments.confidence_study import collect
+
+
+@dataclass
+class Fig06Result:
+    #: rows of (provider name, bucket, predictions, miss rate %).
+    rows: list[tuple[str, int, int, float]]
+
+    def miss_rate(self, provider: Provider, bucket: int) -> float | None:
+        for name, b, _n, rate in self.rows:
+            if name == provider.value and b == bucket:
+                return rate
+        return None
+
+    def provider_rates(self, provider: Provider) -> dict[int, float]:
+        return {
+            bucket: rate
+            for name, bucket, _n, rate in self.rows
+            if name == provider.value
+        }
+
+
+def run(scale: Scale = QUICK) -> Fig06Result:
+    data = collect(scale.workloads, scale.n_instructions)
+    rows = []
+    for (provider, bucket), (n, miss) in sorted(
+        data["buckets"].items(), key=lambda item: (item[0][0].value, item[0][1])
+    ):
+        rows.append((provider.value, bucket, n, percent(miss, n)))
+    return Fig06Result(rows)
+
+
+def render(result: Fig06Result) -> str:
+    return format_table(
+        "Fig. 6: misprediction rate per component per confidence value",
+        ["component", "value", "predictions", "miss rate %"],
+        result.rows,
+    )

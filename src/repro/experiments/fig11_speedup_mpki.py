@@ -1,0 +1,61 @@
+"""Fig. 11 — per-trace UCP speedup alongside conditional-branch MPKI.
+
+Paper findings: average speedup 2%, up to 12%; the workloads benefiting
+most have clearly higher conditional MPKI (1.56 average vs 6.17 for the
+biggest winner) — a higher MPKI does not guarantee a speedup but
+generally entails one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.common.stats import geomean
+from repro.experiments.common import (
+    QUICK,
+    Scale,
+    baseline_config,
+    run_all,
+    speedup_pct,
+    ucp_config,
+)
+
+
+@dataclass
+class Fig11Result:
+    #: (workload, UCP speedup % over baseline, cond MPKI), sorted by speedup.
+    rows: list[tuple[str, float, float]]
+    geomean_pct: float
+
+    def correlation_positive(self) -> bool:
+        """MPKI of the top-speedup half exceeds that of the bottom half."""
+        if len(self.rows) < 2:
+            return True
+        half = len(self.rows) // 2
+        low = [mpki for _, _, mpki in self.rows[:half]]
+        high = [mpki for _, _, mpki in self.rows[-half:]]
+        return sum(high) / len(high) >= sum(low) / len(low)
+
+
+def run(scale: Scale = QUICK) -> Fig11Result:
+    base = run_all(baseline_config(), scale)
+    ucp = run_all(ucp_config(), scale)
+    rows = sorted(
+        (
+            (name, speedup_pct(ucp[name], base[name]), base[name].cond_mpki)
+            for name in scale.workloads
+        ),
+        key=lambda item: item[1],
+    )
+    ratios = [ucp[name].ipc / base[name].ipc for name in scale.workloads]
+    return Fig11Result(rows, 100.0 * (geomean(ratios) - 1.0))
+
+
+def render(result: Fig11Result) -> str:
+    table = format_table(
+        "Fig. 11: UCP speedup and conditional MPKI (sorted by speedup)",
+        ["trace", "speedup %", "cond MPKI"],
+        result.rows,
+    )
+    return f"{table}\ngeomean speedup: {result.geomean_pct:.2f}%"

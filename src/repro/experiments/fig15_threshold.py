@@ -1,0 +1,57 @@
+"""Fig. 15 — sensitivity to the alternate-path stopping threshold.
+
+Paper findings: for µ-op cache prefetching the IPC gain plateaus around a
+threshold of ~500 and degrades past ~1000 (µ-op cache thrashing); the
+L1I-only variant (UCP-TillL1I) peaks later (~1000) because the L1I is
+larger, and reaches 0.6–1.7%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_series
+from repro.experiments.common import (
+    QUICK,
+    Scale,
+    baseline_config,
+    geomean_speedup_pct,
+    run_all,
+    ucp_config,
+)
+
+THRESHOLDS = (16, 64, 256, 500, 1024, 4096)
+
+
+@dataclass
+class Fig15Result:
+    thresholds: tuple[int, ...]
+    #: geomean speedup % per threshold: full UCP and UCP-TillL1I.
+    ucp: list[float]
+    till_l1i: list[float]
+
+    def best_threshold(self, series: str = "ucp") -> int:
+        values = self.ucp if series == "ucp" else self.till_l1i
+        return self.thresholds[max(range(len(values)), key=values.__getitem__)]
+
+
+def run(scale: Scale = QUICK, thresholds: tuple[int, ...] = THRESHOLDS) -> Fig15Result:
+    base = run_all(baseline_config(), scale)
+    ucp_series = []
+    l1i_series = []
+    for threshold in thresholds:
+        ucp_results = run_all(ucp_config(stop_threshold=threshold), scale)
+        ucp_series.append(geomean_speedup_pct(ucp_results, base))
+        l1i_results = run_all(
+            ucp_config(stop_threshold=threshold, till_l1i_only=True), scale
+        )
+        l1i_series.append(geomean_speedup_pct(l1i_results, base))
+    return Fig15Result(tuple(thresholds), ucp_series, l1i_series)
+
+
+def render(result: Fig15Result) -> str:
+    return format_series(
+        "Fig. 15: stopping-threshold sensitivity (geomean speedup %)",
+        {"UCP u-op prefetch": result.ucp, "UCP L1I prefetch": result.till_l1i},
+        x_labels=[str(t) for t in result.thresholds],
+    )

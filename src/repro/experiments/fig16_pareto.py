@@ -1,0 +1,129 @@
+"""Fig. 16 — cost/benefit: IPC improvement per KB of invested storage.
+
+Every frontend technique is plotted as (extra storage KB, geomean speedup
+% over the Table II baseline): UCP flavours, standalone L1I prefetchers,
+larger µ-op caches, the Misprediction Recovery Cache at several sizes,
+and a doubled TAGE-SC-L.
+
+Paper findings: both UCP flavours (8.95KB / 12.95KB) sit on the Pareto
+front; D-JOLT needs ~125KB for less gain; MRC yields 0.3–0.7% even at
+132KB; doubling the branch predictor barely beats UCP at many times the
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.tables import format_table
+from repro.branch.tage import TageConfig
+from repro.branch.tage_sc_l import TageScLConfig
+from repro.experiments.common import (
+    QUICK,
+    Scale,
+    baseline_config,
+    geomean_speedup_pct,
+    run_all,
+    ucp_config,
+)
+from repro.prefetch.base import make_prefetcher
+
+
+@dataclass
+class ParetoPoint:
+    label: str
+    storage_kb: float
+    speedup_pct: float
+
+
+@dataclass
+class Fig16Result:
+    points: list[ParetoPoint]
+
+    def point(self, label: str) -> ParetoPoint:
+        for point in self.points:
+            if point.label == label:
+                return point
+        raise KeyError(label)
+
+    def on_pareto_front(self, label: str) -> bool:
+        """True when no other point has <= storage and >= speedup (strictly
+        better in at least one dimension)."""
+        target = self.point(label)
+        for other in self.points:
+            if other.label == target.label:
+                continue
+            if (
+                other.storage_kb <= target.storage_kb
+                and other.speedup_pct >= target.speedup_pct
+                and (
+                    other.storage_kb < target.storage_kb
+                    or other.speedup_pct > target.speedup_pct
+                )
+            ):
+                return False
+        return True
+
+
+def _double_predictor_config():
+    """A 2x TAGE-SC-L baseline (one extra bit of table index)."""
+    base = TageScLConfig()
+    doubled = replace(base, tage=replace(base.tage, table_size_bits=base.tage.table_size_bits + 1))
+    return replace(baseline_config(), branch_predictor=doubled)
+
+
+def run(scale: Scale = QUICK, full: bool = True) -> Fig16Result:
+    base = run_all(baseline_config(), scale)
+    points: list[ParetoPoint] = []
+
+    def add(label: str, storage_kb: float, config) -> None:
+        results = run_all(config, scale)
+        points.append(ParetoPoint(label, storage_kb, geomean_speedup_pct(results, base)))
+
+    # UCP flavours (Section IV-F budgets).
+    add("UCP", ucp_config().ucp.storage_kb, ucp_config())
+    add("UCP-NoIndirect", ucp_config(use_indirect=False).ucp.storage_kb,
+        ucp_config(use_indirect=False))
+    if full:
+        add("UCP-SharedDecoders", ucp_config(shared_decoders=True).ucp.storage_kb,
+            ucp_config(shared_decoders=True))
+        add("UCP-L1I(T=1000)", ucp_config(till_l1i_only=True, stop_threshold=1000).ucp.storage_kb,
+            ucp_config(till_l1i_only=True, stop_threshold=1000))
+        add("UCP-NoBTBConflict", ucp_config(ideal_btb_banking=True).ucp.storage_kb,
+            ucp_config(ideal_btb_banking=True))
+
+    # Standalone L1I prefetchers.
+    prefetchers = ("fnl_mma", "fnl_mma++", "djolt", "ep", "ep++") if full else ("fnl_mma", "djolt")
+    for name in prefetchers:
+        storage = make_prefetcher(name).storage_kb
+        add(name.upper(), storage, replace(baseline_config(), l1i_prefetcher=name))
+
+    # Larger µ-op caches (extra storage relative to the 4Kops baseline).
+    base_kb = baseline_config().uop_cache.storage_kb
+    for kops in (8, 16, 32):
+        config = baseline_config().with_uop_cache_kops(kops)
+        add(f"uop-{kops}Kops", config.uop_cache.storage_kb - base_kb, config)
+
+    # MRC at several sizes (64 entries ~ 16.5KB).
+    mrc_sizes = (64, 128, 256, 512) if full else (64, 512)
+    for entries in mrc_sizes:
+        config = replace(baseline_config(), mrc_entries=entries)
+        add(f"MRC-{entries}", entries * 264 / 1024, config)
+
+    # Doubling the conditional branch predictor (~64KB extra).
+    add("TAGE-SC-Lx2", 64.0, _double_predictor_config())
+
+    return Fig16Result(points)
+
+
+def render(result: Fig16Result) -> str:
+    rows = [
+        (p.label, p.storage_kb, p.speedup_pct,
+         "pareto" if result.on_pareto_front(p.label) else "")
+        for p in sorted(result.points, key=lambda p: p.storage_kb)
+    ]
+    return format_table(
+        "Fig. 16: storage vs geomean speedup over baseline",
+        ["technique", "storage KB", "speedup %", ""],
+        rows,
+    )

@@ -1,0 +1,60 @@
+"""Artifact appendix table — IPC improvement of the UCP variants.
+
+Paper artifact values (threshold 500):
+
+====================  =================
+Variant               IPC improvement %
+====================  =================
+UCP                   2.0
+UCP-TillL1I           1.6
+UCP-SharedDecoders    1.8
+UCP-IdealBTBBanking   2.2
+====================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import (
+    QUICK,
+    Scale,
+    baseline_config,
+    geomean_speedup_pct,
+    run_all,
+    ucp_config,
+)
+
+VARIANTS = {
+    "UCP": {},
+    "UCP-TillL1I": {"till_l1i_only": True},
+    "UCP-SharedDecoders": {"shared_decoders": True},
+    "UCP-IdealBTBBanking": {"ideal_btb_banking": True},
+}
+
+
+@dataclass
+class TabAResult:
+    speedups: dict[str, float]
+
+    def speedup(self, label: str) -> float:
+        return self.speedups[label]
+
+
+def run(scale: Scale = QUICK) -> TabAResult:
+    base = run_all(baseline_config(), scale)
+    speedups = {}
+    for label, overrides in VARIANTS.items():
+        results = run_all(ucp_config(**overrides), scale)
+        speedups[label] = geomean_speedup_pct(results, base)
+    return TabAResult(speedups)
+
+
+def render(result: TabAResult) -> str:
+    rows = [(label, pct) for label, pct in result.speedups.items()]
+    return format_table(
+        "Artifact table: UCP variant IPC improvement (geomean %)",
+        ["variant", "speedup %"],
+        rows,
+    )

@@ -1,0 +1,14 @@
+"""Decoupled frontend: BPU address generation, FTQ, and the fetch engine.
+
+The branch prediction unit (:mod:`repro.frontend.bpu`) runs ahead of fetch,
+filling the fetch target queue (:mod:`repro.frontend.ftq`) with predicted
+fetch blocks — fetch-directed prefetching (FDP).  The fetch engine
+(:mod:`repro.frontend.fetch`) consumes the FTQ in *stream* mode (µ-op
+cache) or *build* mode (L1I + decoders), as described in paper Section II.
+"""
+
+from repro.frontend.bpu import BPU, BranchEvent
+from repro.frontend.fetch import FetchEngine
+from repro.frontend.ftq import FTQ, FetchBlock
+
+__all__ = ["BPU", "BranchEvent", "FTQ", "FetchBlock", "FetchEngine"]

@@ -1,0 +1,273 @@
+"""Branch Prediction Unit: decoupled fetch address generation.
+
+Walks the trace ahead of fetch, predicting every branch with the baseline
+predictor stack (TAGE-SC-L + BTB + ITTAGE + RAS, paper Table II) and
+emitting :class:`~repro.frontend.ftq.FetchBlock` runs into the FTQ.
+
+Misprediction handling follows the classic decoupled-frontend model: on a
+mispredicted branch the BPU *stalls* (wrong-path fetch is not simulated)
+until the backend resolves the branch and redirects, after which address
+generation resumes on the correct path.  BTB misses on taken branches cost
+a decode re-steer bubble and train the BTB.
+
+Every processed conditional branch is reported through ``branch_hook`` —
+the attachment point for confidence statistics and for UCP's alternate-
+path trigger.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.branch.btb import make_btb
+from repro.branch.ittage import ITTAGE
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.tage_sc_l import TageScL, TageScLPrediction
+from repro.common.stats import StatBlock
+from repro.core.configs import SimConfig
+from repro.frontend.ftq import FTQ, FetchBlock
+from repro.isa.instruction import BranchClass
+from repro.isa.trace import Trace
+
+
+class BranchEvent:
+    """What the BPU learned about one conditional branch it processed."""
+
+    __slots__ = ("index", "pc", "prediction", "actual_taken", "taken_target", "mispredicted")
+
+    def __init__(
+        self,
+        index: int,
+        pc: int,
+        prediction: TageScLPrediction,
+        actual_taken: bool,
+        taken_target: int | None,
+        mispredicted: bool,
+    ) -> None:
+        self.index = index
+        self.pc = pc
+        self.prediction = prediction
+        self.actual_taken = actual_taken
+        #: Taken-direction target if known to the frontend (BTB hit or the
+        #: branch is being predicted taken), else None.
+        self.taken_target = taken_target
+        self.mispredicted = mispredicted
+
+
+class BPU:
+    """Decoupled branch-prediction-directed address generation."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        trace: Trace,
+        stats: StatBlock,
+        hierarchy=None,
+        prefetcher=None,
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        self.stats = stats
+        self.hierarchy = hierarchy
+        self.prefetcher = prefetcher
+        self.cond = TageScL(config.branch_predictor)
+        self.btb = make_btb(config.btb)
+        self.indirect = ITTAGE(config.indirect_predictor)
+        self.ras = ReturnAddressStack(64)
+        #: Next trace index to generate an address for.
+        self.index = 0
+        #: Set while a mispredicted branch is unresolved.
+        self.stalled_on: int | None = None
+        #: BPU may not generate before this cycle (BTB-miss bubbles,
+        #: redirect latency).
+        self.resume_cycle = 0
+        #: Called for every conditional branch event (confidence, UCP).
+        self.branch_hook: Callable[[BranchEvent, int], None] | None = None
+        #: Called with (pc, target) on calls/returns (D-JOLT's context).
+        self.context_hook: Callable[[int, int], None] | None = None
+        #: Called with (pc,) for every unconditional branch processed (UCP
+        #: keeps its Alt-BP/Alt-Ind predicted-path histories in sync).
+        self.uncond_hook: Callable[[int], None] | None = None
+        #: Called with (pc, target) for every indirect branch (Alt-Ind training).
+        self.indirect_hook: Callable[[int, int], None] | None = None
+        #: BTB banks touched by demand lookups this cycle (UCP conflicts).
+        self.btb_banks_used: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Per-cycle generation
+    # ------------------------------------------------------------------
+
+    def generate(self, ftq: FTQ, cycle: int) -> None:
+        """Generate up to ``bpu_blocks_per_cycle`` fetch blocks into the FTQ."""
+        self.btb_banks_used.clear()
+        if self.stalled_on is not None or cycle < self.resume_cycle:
+            return
+        frontend = self.config.frontend
+        for _ in range(frontend.bpu_blocks_per_cycle):
+            if self.index >= len(self.trace):
+                return
+            if not ftq.has_room(frontend.fetch_block_size):
+                return
+            block = self._build_block(cycle)
+            self._fdp_access(block, cycle)
+            ftq.push(block)
+            if block.mispredicted or self.stalled_on is not None or cycle < self.resume_cycle:
+                return
+
+    def _build_block(self, cycle: int) -> FetchBlock:
+        """Walk the predicted path (== trace path, with stalls at wrong
+        predictions) until a block-terminating event."""
+        trace = self.trace
+        frontend = self.config.frontend
+        start = self.index
+        count = 0
+        ends_taken = False
+        mispredicted = False
+
+        while count < frontend.fetch_block_size and self.index < len(trace):
+            i = self.index
+            branch_class = trace.branch_classes[i]
+            self.index += 1
+            count += 1
+            if branch_class == BranchClass.NOT_BRANCH:
+                continue
+
+            pc = int(trace.pcs[i])
+            taken = bool(trace.takens[i])
+            target = int(trace.targets[i])
+
+            if branch_class == BranchClass.COND_DIRECT:
+                mispredicted, block_taken = self._handle_conditional(
+                    i, pc, taken, target, cycle
+                )
+                if mispredicted or block_taken:
+                    ends_taken = block_taken and not mispredicted
+                    break
+                continue
+
+            # Unconditional branches: always end the fetch block.
+            self.cond.push_unconditional(pc)
+            self.indirect.push_history(pc, True)
+            if self.uncond_hook is not None:
+                self.uncond_hook(pc)
+            if branch_class == BranchClass.UNCOND_DIRECT:
+                self._direct_target(pc, BranchClass.UNCOND_DIRECT, target, cycle)
+            elif branch_class == BranchClass.CALL_DIRECT:
+                self._direct_target(pc, BranchClass.CALL_DIRECT, target, cycle)
+                self.ras.push(pc + 4)
+                if self.context_hook is not None:
+                    self.context_hook(pc, target)
+            elif branch_class == BranchClass.CALL_INDIRECT:
+                mispredicted = self._handle_indirect(i, pc, target)
+                self.ras.push(pc + 4)
+                if self.context_hook is not None:
+                    self.context_hook(pc, target)
+            elif branch_class == BranchClass.INDIRECT:
+                mispredicted = self._handle_indirect(i, pc, target)
+            elif branch_class == BranchClass.RETURN:
+                predicted = self.ras.pop()
+                if predicted != target:
+                    self.stats.add("ras_mispredictions")
+                    mispredicted = True
+                    self.stalled_on = i
+                if self.context_hook is not None:
+                    self.context_hook(pc, target)
+            ends_taken = not mispredicted
+            break
+
+        return FetchBlock(start, count, ends_taken=ends_taken, mispredicted=mispredicted)
+
+    def _fdp_access(self, block: FetchBlock, cycle: int) -> None:
+        """Fetch-directed prefetching: access the L1I for the block's lines
+        as soon as the block enters the FTQ, overlapping misses."""
+        if self.hierarchy is None:
+            return
+        line_size = self.hierarchy.config.l1i.line_size
+        trace = self.trace
+        for index in range(block.start_index, block.end_index):
+            line = int(trace.pcs[index]) // line_size
+            if line in block.line_ready:
+                continue
+            hit, ready = self.hierarchy.fetch_line(int(trace.pcs[index]), cycle)
+            self.stats.add("l1i_demand_accesses")
+            if not hit:
+                self.stats.add("l1i_demand_misses")
+            if self.prefetcher is not None:
+                self.prefetcher.on_demand_access(line, hit, cycle, self.hierarchy)
+            block.line_ready[line] = ready
+
+    # ------------------------------------------------------------------
+    # Branch-class handlers
+    # ------------------------------------------------------------------
+
+    def _handle_conditional(
+        self, index: int, pc: int, taken: bool, target: int, cycle: int
+    ) -> tuple[bool, bool]:
+        """Predict/update one conditional; returns (mispredicted, ends_block)."""
+        prediction = self.cond.predict(pc)
+        self.stats.add("cond_branches")
+        direction_wrong = prediction.taken != taken
+
+        btb_entry = self.btb.lookup(pc)
+        self.btb_banks_used.add(self.btb.bank_of(pc, n_banks=2 * self.btb.config.n_banks))
+        taken_target: int | None = btb_entry.target if btb_entry else None
+        if taken:
+            self.btb.update(pc, BranchClass.COND_DIRECT, target)
+            taken_target = target if prediction.taken else taken_target
+
+        mispredicted = direction_wrong
+        ends_block = False
+        if direction_wrong:
+            self.stats.add("cond_mispredictions")
+            self.stalled_on = index
+        elif taken:
+            # Correctly predicted taken: the target must come from the BTB.
+            if btb_entry is None:
+                self.stats.add("btb_misses_taken")
+                self.resume_cycle = cycle + self.config.frontend.btb_miss_penalty
+            ends_block = True
+
+        self.cond.update(prediction, taken)
+        self.indirect.push_history(pc, taken)
+
+        if self.branch_hook is not None:
+            self.branch_hook(
+                BranchEvent(index, pc, prediction, taken, taken_target, mispredicted),
+                cycle,
+            )
+        return mispredicted, ends_block
+
+    def _direct_target(
+        self, pc: int, branch_class: BranchClass, target: int, cycle: int
+    ) -> None:
+        """Jump/call with a static target: BTB provides it or we re-steer."""
+        self.btb_banks_used.add(self.btb.bank_of(pc, n_banks=2 * self.btb.config.n_banks))
+        if self.btb.lookup(pc) is None:
+            self.stats.add("btb_misses_taken")
+            self.resume_cycle = cycle + self.config.frontend.btb_miss_penalty
+        self.btb.update(pc, branch_class, target)
+
+    def _handle_indirect(self, index: int, pc: int, target: int) -> bool:
+        prediction = self.indirect.predict(pc)
+        self.stats.add("indirect_branches")
+        mispredicted = prediction.target != target
+        if mispredicted:
+            self.stats.add("indirect_mispredictions")
+            self.stalled_on = index
+        self.indirect.update(prediction, target)
+        if self.indirect_hook is not None:
+            self.indirect_hook(pc, target)
+        branch_class = BranchClass(int(self.trace.branch_classes[index]))
+        self.btb.update(pc, branch_class, target)
+        return mispredicted
+
+    # ------------------------------------------------------------------
+    # Redirect
+    # ------------------------------------------------------------------
+
+    def redirect(self, cycle: int) -> None:
+        """The stalling branch resolved: resume on the correct path."""
+        if self.stalled_on is None:
+            raise RuntimeError("redirect without a stalled branch")
+        self.stalled_on = None
+        self.resume_cycle = cycle + self.config.frontend.redirect_latency

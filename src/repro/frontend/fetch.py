@@ -1,0 +1,378 @@
+"""The fetch engine: stream (µ-op cache) and build (L1I + decode) modes.
+
+Implements the two-mode frontend of paper Section II:
+
+* **stream mode** — the FTQ head indexes only the µ-op cache; a hit
+  delivers up to 8 µ-ops (one entry) per cycle with a short frontend
+  latency.  A miss switches to build mode (1-cycle penalty).
+* **build mode** — the L1I is fetched (through the full memory hierarchy)
+  and up to 6 instructions per cycle are decoded with a longer frontend
+  latency, while the µ-op entry builder creates entries and installs them.
+  The µ-op cache tags are still probed; after ``stream_switch_threshold``
+  consecutive hits the frontend switches back to stream mode (1-cycle
+  penalty).
+
+The engine also implements the idealisations of Section III (ideal µ-op
+cache, L1I-Hits, IdealBRCond-N) and the MRC baseline's refill streaming,
+because all of them are alternative µ-op *sources* for the same FTQ
+consumption loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.caches.hierarchy import MemoryHierarchy
+from repro.caches.uopcache import UopCache, UopEntryBuilder
+from repro.common.stats import StatBlock
+from repro.core.codemap import CodeMap
+from repro.core.configs import SimConfig
+from repro.frontend.ftq import FTQ
+from repro.isa.instruction import BranchClass
+from repro.isa.trace import Trace
+
+STREAM = "stream"
+BUILD = "build"
+
+
+class FetchEngine:
+    """Consumes FTQ blocks and produces µ-ops into the µ-op queue."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        trace: Trace,
+        uop_cache: UopCache | None,
+        hierarchy: MemoryHierarchy,
+        codemap: CodeMap,
+        stats: StatBlock,
+        prefetcher=None,
+        mrc=None,
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        self.uop_cache = uop_cache
+        self.hierarchy = hierarchy
+        self.codemap = codemap
+        self.stats = stats
+        self.prefetcher = prefetcher
+        self.mrc = mrc
+
+        #: µ-op queue: (trace_index, ready_cycle), in order.
+        self.uop_queue: deque[tuple[int, int]] = deque()
+
+        self._block = None
+        self._offset = 0
+        self._stall_until = 0
+        if uop_cache is None:
+            self._mode = None
+        elif config.ideal_uop_cache:
+            self._mode = STREAM  # an ideal µ-op cache never leaves stream
+        else:
+            self._mode = BUILD
+        self._consecutive_hits = 0
+        self._builder = UopEntryBuilder(config.uop_cache) if uop_cache else None
+        #: IdealBRCond-N: conditional branches remaining to treat as hits.
+        self._ideal_cond_remaining = 0
+        #: MRC: µ-ops remaining to stream from a hit MRC entry.
+        self._mrc_stream_remaining = 0
+        #: MRC stream armed, engaging on the first post-redirect µ-op miss.
+        self._mrc_pending = 0
+        #: Set by UCP's SharedDecoders variant reader: True on cycles where
+        #: the demand path used the decoders.
+        self.decoders_busy_this_cycle = False
+        #: µ-op cache tag banks used by the demand path this cycle.
+        self.uop_banks_used: set[int] = set()
+        #: True between a redirect and the first µ-op cache lookup after it.
+        self._after_redirect = False
+
+    # ------------------------------------------------------------------
+    # External events
+    # ------------------------------------------------------------------
+
+    def on_redirect(self, cycle: int, target_index: int) -> None:
+        """A mispredicted branch resolved; fetch restarts on the new path."""
+        if self.uop_cache is not None and not self.config.ideal_uop_cache:
+            # After a flush the frontend re-enters stream mode: the refill
+            # queries the µ-op cache first (paying the switch back to build
+            # if the correct path is not cached) — the pipeline-refill
+            # acceleration UCP exploits (paper Sections II/III-C).
+            self._mode = STREAM
+            self._consecutive_hits = 0
+        self._after_redirect = True
+        if self._builder is not None:
+            # Close the partially built entry at the break; its µ-ops were
+            # real (pre-branch correct path), so it is still installed.
+            entry = self._builder.flush(next_pc=0)
+            if entry is not None and self.uop_cache is not None:
+                self.uop_cache.insert(entry)
+        if self.config.ideal_brcond_window:
+            self._ideal_cond_remaining = self.config.ideal_brcond_window
+        if self.mrc is not None and target_index < len(self.trace):
+            target_pc = int(self.trace.pcs[target_index])
+            recorded = self.mrc.access(target_pc, recorded_index=target_index)
+            if recorded is not None:
+                self.stats.add("mrc_hits")
+                # The entry streams the µ-ops recorded on a *previous*
+                # misprediction at this target; it is only useful up to
+                # the point where that recorded path diverges from the
+                # current one.  It supplements the µ-op cache: it engages
+                # only if the refill's first µ-op lookup misses (with no
+                # µ-op cache it engages immediately).
+                length = self._mrc_match_length(recorded, target_index)
+                if self.uop_cache is None:
+                    self._mrc_stream_remaining = length
+                else:
+                    self._mrc_pending = length
+            else:
+                self.stats.add("mrc_misses")
+
+    def _mrc_match_length(self, recorded_index: int, current_index: int) -> int:
+        pcs = self.trace.pcs
+        limit = min(
+            self.mrc.uops_per_entry,
+            len(self.trace) - max(recorded_index, current_index),
+        )
+        length = 0
+        while length < limit and pcs[recorded_index + length] == pcs[current_index + length]:
+            length += 1
+        return length
+
+    def queue_room(self) -> int:
+        return self.config.frontend.uop_queue_capacity - len(self.uop_queue)
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int, ftq: FTQ) -> None:
+        self.decoders_busy_this_cycle = False
+        self.uop_banks_used.clear()
+        if cycle < self._stall_until:
+            return
+        if self._block is None:
+            if not ftq:
+                return
+            self._block = ftq.pop()
+            self._offset = 0
+        room = self.queue_room()
+        if room <= 0:
+            return
+
+        index = self._block.start_index + self._offset
+        pc = int(self.trace.pcs[index])
+        remaining = self._block.count - self._offset
+
+        # 1. MRC streaming after a misprediction (baseline of Section VI-F).
+        if self._mrc_stream_remaining > 0:
+            n = min(8, remaining, room, self._mrc_stream_remaining)
+            self._deliver(index, n, cycle + self.config.frontend.stream_path_latency, "mrc")
+            self._mrc_stream_remaining -= n
+            return
+
+        # 2. No µ-op cache at all: pure L1I + decode path (idealisations
+        #    without a µ-op cache are not meaningful).
+        if self.uop_cache is None:
+            self._build_step(pc, room, cycle, ftq)
+            return
+
+        if self._mode == STREAM:
+            self._stream_step(cycle, ftq, room)
+        else:
+            # Idealisations force µ-op-cache-hit behaviour even here, and
+            # count toward the switch-back heuristic (an L1I-resident line
+            # *is* a µ-op hit under L1I-Hits).
+            if self._treat_as_hit(pc):
+                n = min(8, remaining, room)
+                self._deliver(
+                    index, n, cycle + self.config.frontend.stream_path_latency, "uop"
+                )
+                self._consecutive_hits += 1
+                if self._consecutive_hits >= self.config.frontend.stream_switch_threshold:
+                    self._switch_mode(STREAM, cycle)
+                return
+            # Build mode: probe the µ-op tags at entry-aligned boundaries
+            # for the switch-back heuristic, then run the slow path.
+            if self._offset == 0 or pc % 32 == 0:
+                if self.uop_cache.probe(pc):
+                    self._consecutive_hits += 1
+                    if self._consecutive_hits >= self.config.frontend.stream_switch_threshold:
+                        self._switch_mode(STREAM, cycle)
+                        return
+                else:
+                    self._consecutive_hits = 0
+            self._build_step(pc, room, cycle, ftq)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _stream_step(self, cycle: int, ftq: FTQ, room: int) -> None:
+        """Stream mode: up to two entry reads (dual-ported tags, Table II),
+        eight µ-ops total, per cycle."""
+        ports = self.config.uop_cache.n_banks if self.config.uop_cache else 2
+        ready = cycle + self.config.frontend.stream_path_latency
+        budget = 8
+        for _port in range(ports):
+            if budget <= 0 or room <= 0:
+                return
+            if self._block is None:
+                if not ftq:
+                    return
+                self._block = ftq.pop()
+                self._offset = 0
+            index = self._block.start_index + self._offset
+            pc = int(self.trace.pcs[index])
+            if self._treat_as_hit(pc):
+                n = min(budget, self._block.count - self._offset, room)
+                self._deliver(index, n, ready, "uop")
+                budget -= n
+                room -= n
+                continue
+            self.uop_banks_used.add(self.uop_cache.bank_of(pc))
+            entry = self.uop_cache.lookup(pc)
+            if self._after_redirect:
+                self._after_redirect = False
+                self.stats.add("refill_first_hit" if entry else "refill_first_miss")
+            if entry is None:
+                if self._mrc_pending > 0:
+                    # MRC covers the refill the µ-op cache cannot.
+                    self._mrc_stream_remaining = self._mrc_pending
+                    self._mrc_pending = 0
+                    return
+                self._switch_mode(BUILD, cycle)
+                return
+            self._mrc_pending = 0  # the µ-op cache covers this refill
+            n = min(entry.n_uops, self._block.count - self._offset, room, budget)
+            self._deliver(index, n, ready, "uop")
+            budget -= n
+            room -= n
+
+    def _treat_as_hit(self, pc: int) -> bool:
+        if self.config.ideal_uop_cache:
+            return True
+        if self._ideal_cond_remaining > 0:
+            return True
+        if self.config.l1i_hits_are_uop_hits and self.hierarchy.l1i.probe(pc):
+            return True
+        return False
+
+    def _switch_mode(self, mode: str, cycle: int) -> None:
+        self._mode = mode
+        self._consecutive_hits = 0
+        self._stall_until = cycle + self.config.frontend.mode_switch_penalty
+        self.stats.add("mode_switches")
+
+    def _build_step(self, pc: int, room: int, cycle: int, ftq: FTQ) -> None:
+        """One cycle of the L1I + decoder path."""
+        line_size = self.hierarchy.config.l1i.line_size
+        # Entries never straddle fetch blocks: block boundaries are path-
+        # deterministic, so aligning entry starts with block starts keeps
+        # later stream-mode lookups (which happen at block starts) aligned
+        # with the entries built here.
+        if (
+            self._offset == 0
+            and self._builder is not None
+            and self._builder.open_entry_start is not None
+            and self._builder.open_entry_start != pc
+        ):
+            entry = self._builder.flush(next_pc=pc)
+            if entry is not None:
+                self.uop_cache.insert(entry)
+        frontend = self.config.frontend
+        ready = cycle + frontend.build_path_latency
+        trace = self.trace
+        budget = frontend.decode_width
+        # The fetch unit reads two (even/odd interleaved) lines per cycle
+        # (paper Fig. 1) into a byte queue; the decoders then consume at
+        # full width across line and fetch-block boundaries.
+        lines_used: set[int] = set()
+        delivered_any = False
+
+        while budget > 0 and room > 0:
+            if self._block is None:
+                break
+            block = self._block
+            index = block.start_index + self._offset
+            n = 0
+            while budget - n > 0 and self._offset + n < block.count and n < room:
+                i = index + n
+                ipc = int(trace.pcs[i])
+                line = ipc // line_size
+                if line not in lines_used:
+                    if len(lines_used) >= 2:
+                        break  # at most two new lines per cycle
+                    line_ready = block.line_ready.get(line)
+                    if line_ready is None:
+                        # Restart edge case: FDP never saw this line.
+                        _hit, line_ready = self.hierarchy.fetch_line(ipc, cycle)
+                        block.line_ready[line] = line_ready
+                    if cycle < line_ready:
+                        break  # bytes not back yet
+                    lines_used.add(line)
+                branch_class = int(trace.branch_classes[i])
+                self.codemap.record(ipc, branch_class)
+                if self._builder is not None:
+                    is_last = (self._offset + n) == block.count - 1
+                    predicted_taken = bool(is_last and block.ends_taken)
+                    is_branch = branch_class != BranchClass.NOT_BRANCH
+                    next_pc = int(trace.next_pcs[i])
+                    for entry in self._builder.add(ipc, is_branch, predicted_taken, next_pc):
+                        self.uop_cache.insert(entry)
+                n += 1
+            if n == 0:
+                break
+            self._deliver(index, n, ready, "decode")
+            delivered_any = True
+            budget -= n
+            room -= n
+            if self._block is block:
+                break  # stopped mid-block (line wait / budget)
+            if not ftq:
+                break
+            self._block = ftq.pop()
+            self._offset = 0
+            start_pc = int(trace.pcs[self._block.start_index])
+            # New block: keep entry starts aligned with block starts.
+            if self._builder is not None and self._builder.open_entry_start is not None:
+                if self._builder.open_entry_start != start_pc:
+                    entry = self._builder.flush(next_pc=start_pc)
+                    if entry is not None and self.uop_cache is not None:
+                        self.uop_cache.insert(entry)
+            # The µ-op tags are probed in parallel while building (paper
+            # Section II): block starts are the entry-aligned points.
+            if self.uop_cache is not None and self._mode == BUILD:
+                if self.uop_cache.probe(start_pc):
+                    self._consecutive_hits += 1
+                    if self._consecutive_hits >= frontend.stream_switch_threshold:
+                        self._switch_mode(STREAM, cycle)
+                        break
+                else:
+                    self._consecutive_hits = 0
+
+        if delivered_any:
+            self.decoders_busy_this_cycle = True
+
+    def _deliver(self, index: int, n: int, ready: int, source: str) -> None:
+        """Move ``n`` µ-ops starting at trace ``index`` into the µ-op queue."""
+        trace = self.trace
+        queue = self.uop_queue
+        for k in range(n):
+            i = index + k
+            queue.append((i, ready))
+            branch_class = int(trace.branch_classes[i])
+            self.codemap.record(int(trace.pcs[i]), branch_class)
+            if (
+                self._ideal_cond_remaining > 0
+                and branch_class == BranchClass.COND_DIRECT
+            ):
+                self._ideal_cond_remaining -= 1
+        self.stats.add(f"uops_{source}", n)
+        self._offset += n
+        if self._offset >= self._block.count:
+            self._block = None
+            self._offset = 0
+
+    @property
+    def mode(self) -> str | None:
+        return self._mode

@@ -1,0 +1,89 @@
+"""Fetch Target Queue: predicted fetch blocks waiting for the fetch engine.
+
+A fetch block is a run of sequential instructions (trace indices) ending
+either at a predicted-taken branch, at the block-size limit, or at a
+mispredicted branch (after which the BPU stalls until resolution).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FetchBlock:
+    """A run of ``count`` sequential-path instructions from ``start_index``.
+
+    ``line_ready`` maps the L1I lines the block covers to the cycle their
+    bytes are available: decoupled fetching (FDP) starts the L1I access
+    when the BPU inserts the block, so by the time the fetch engine reaches
+    it, misses have overlapped with older work (paper Section II).
+    """
+
+    __slots__ = ("start_index", "count", "ends_taken", "mispredicted", "line_ready")
+
+    def __init__(
+        self,
+        start_index: int,
+        count: int,
+        ends_taken: bool = False,
+        mispredicted: bool = False,
+        line_ready: dict[int, int] | None = None,
+    ) -> None:
+        self.start_index = start_index
+        self.count = count
+        #: The block's last instruction is a predicted-taken branch.
+        self.ends_taken = ends_taken
+        #: The block's last instruction was mispredicted (direction or
+        #: target); the BPU has stalled and fetch must not run past it.
+        self.mispredicted = mispredicted
+        #: L1I line -> ready cycle (filled by the BPU's FDP access).
+        self.line_ready = line_ready if line_ready is not None else {}
+
+    @property
+    def end_index(self) -> int:
+        return self.start_index + self.count
+
+    def __repr__(self) -> str:
+        flags = "T" if self.ends_taken else "-"
+        flags += "M" if self.mispredicted else "-"
+        return f"FetchBlock([{self.start_index},{self.end_index}) {flags})"
+
+
+class FTQ:
+    """Bounded queue of fetch blocks (capacity counted in instructions)."""
+
+    def __init__(self, capacity: int = 192) -> None:
+        self.capacity = capacity
+        self._blocks: deque[FetchBlock] = deque()
+        self._occupancy = 0
+
+    def has_room(self, count: int = 1) -> bool:
+        return self._occupancy + count <= self.capacity
+
+    def push(self, block: FetchBlock) -> None:
+        if not self.has_room(block.count):
+            raise OverflowError("FTQ overflow — caller must check has_room")
+        self._blocks.append(block)
+        self._occupancy += block.count
+
+    def head(self) -> FetchBlock | None:
+        return self._blocks[0] if self._blocks else None
+
+    def pop(self) -> FetchBlock:
+        block = self._blocks.popleft()
+        self._occupancy -= block.count
+        return block
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self._occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __bool__(self) -> bool:
+        return bool(self._blocks)

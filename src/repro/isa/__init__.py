@@ -1,0 +1,12 @@
+"""Instruction model: a fixed-length, RISC-style ISA in the spirit of ARMv8.
+
+The paper evaluates on CVP-1 ARMv8 traces and assumes one architectural
+instruction decodes to one µ-op, 4 bytes per instruction (Section III-A).
+We adopt the same convention: every trace record is one instruction == one
+µ-op at a 4-byte-aligned PC.
+"""
+
+from repro.isa.instruction import INSTRUCTION_SIZE, BranchClass, TraceEntry
+from repro.isa.trace import Trace, TraceStats
+
+__all__ = ["BranchClass", "TraceEntry", "Trace", "TraceStats", "INSTRUCTION_SIZE"]

@@ -1,0 +1,58 @@
+"""Human-readable text serialisation of traces.
+
+One instruction per line: ``pc class taken target`` (PC/target in hex,
+class as the :class:`~repro.isa.instruction.BranchClass` name).  Lossless
+round-trip with :class:`~repro.isa.trace.Trace`; ``#`` lines are comments.
+Useful for diffing traces, crafting regression inputs by hand, and
+exchanging traces with other simulators.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.isa.instruction import BranchClass, TraceEntry
+from repro.isa.trace import Trace
+
+
+def dump_text(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in the text format."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(f"# trace: {trace.name}\n")
+        handle.write("# pc class taken target\n")
+        for i in range(len(trace)):
+            branch_class = BranchClass(int(trace.branch_classes[i]))
+            handle.write(
+                f"{int(trace.pcs[i]):#x} {branch_class.name} "
+                f"{int(trace.takens[i])} {int(trace.targets[i]):#x}\n"
+            )
+
+
+def load_text(path: str | Path, name: str | None = None) -> Trace:
+    """Parse a text-format trace; the name defaults to a ``# trace:`` header
+    comment or the file stem."""
+    path = Path(path)
+    entries: list[TraceEntry] = []
+    trace_name = name
+    with path.open() as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if trace_name is None and line.lower().startswith("# trace:"):
+                    trace_name = line.split(":", 1)[1].strip()
+                continue
+            fields = line.split()
+            if len(fields) != 4:
+                raise ValueError(f"{path}:{line_no}: expected 4 fields, got {len(fields)}")
+            try:
+                pc = int(fields[0], 0)
+                branch_class = BranchClass[fields[1]]
+                taken = bool(int(fields[2]))
+                target = int(fields[3], 0)
+            except (ValueError, KeyError) as error:
+                raise ValueError(f"{path}:{line_no}: {error}") from None
+            entries.append(TraceEntry(pc, branch_class, taken, target))
+    return Trace.from_entries(trace_name or path.stem, entries)

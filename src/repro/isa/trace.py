@@ -1,0 +1,160 @@
+"""Columnar dynamic-instruction traces.
+
+A :class:`Trace` stores the dynamic instruction stream in parallel numpy
+arrays (PC, branch class, taken, target).  The cycle simulator indexes these
+arrays directly — far cheaper than a list of objects at the tens-of-
+thousands-of-instructions scale we simulate — while tests and generators
+can still work with :class:`~repro.isa.instruction.TraceEntry` records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.isa.instruction import INSTRUCTION_SIZE, BranchClass, TraceEntry
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Static/dynamic footprint summary of a trace."""
+
+    instructions: int
+    static_instructions: int
+    static_code_bytes: int
+    cache_lines_touched: int
+    conditional_branches: int
+    taken_conditionals: int
+    branches: int
+
+    @property
+    def conditional_taken_rate(self) -> float:
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.taken_conditionals / self.conditional_branches
+
+
+class Trace:
+    """An immutable dynamic instruction trace with columnar storage."""
+
+    def __init__(
+        self,
+        name: str,
+        pcs: np.ndarray,
+        branch_classes: np.ndarray,
+        takens: np.ndarray,
+        targets: np.ndarray,
+    ) -> None:
+        length = len(pcs)
+        if not (len(branch_classes) == len(takens) == len(targets) == length):
+            raise ValueError("trace columns have inconsistent lengths")
+        self.name = name
+        self.pcs = np.ascontiguousarray(pcs, dtype=np.int64)
+        self.branch_classes = np.ascontiguousarray(branch_classes, dtype=np.uint8)
+        self.takens = np.ascontiguousarray(takens, dtype=bool)
+        self.targets = np.ascontiguousarray(targets, dtype=np.int64)
+        # next_pc is precomputed once: it is consulted on every simulated
+        # instruction to detect mispredictions.
+        self.next_pcs = np.where(
+            self.takens, self.targets, self.pcs + INSTRUCTION_SIZE
+        ).astype(np.int64)
+
+    @classmethod
+    def from_entries(cls, name: str, entries: Iterable[TraceEntry]) -> "Trace":
+        entries = list(entries)
+        pcs = np.fromiter((entry.pc for entry in entries), dtype=np.int64, count=len(entries))
+        classes = np.fromiter(
+            (entry.branch_class for entry in entries), dtype=np.uint8, count=len(entries)
+        )
+        takens = np.fromiter(
+            (entry.taken for entry in entries), dtype=bool, count=len(entries)
+        )
+        targets = np.fromiter(
+            (entry.target for entry in entries), dtype=np.int64, count=len(entries)
+        )
+        return cls(name, pcs, classes, takens, targets)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return TraceEntry(
+            pc=int(self.pcs[index]),
+            branch_class=BranchClass(int(self.branch_classes[index])),
+            taken=bool(self.takens[index]),
+            target=int(self.targets[index]),
+        )
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        for index in range(len(self)):
+            yield self[index]
+
+    def stats(self, line_size: int = 64) -> TraceStats:
+        """Compute the footprint summary the paper's Section III reports."""
+        unique_pcs = np.unique(self.pcs)
+        conditional = self.branch_classes == BranchClass.COND_DIRECT
+        branches = self.branch_classes != BranchClass.NOT_BRANCH
+        return TraceStats(
+            instructions=len(self),
+            static_instructions=len(unique_pcs),
+            static_code_bytes=len(unique_pcs) * INSTRUCTION_SIZE,
+            cache_lines_touched=len(np.unique(unique_pcs // line_size)),
+            conditional_branches=int(conditional.sum()),
+            taken_conditionals=int((conditional & self.takens).sum()),
+            branches=int(branches.sum()),
+        )
+
+    def validate(self) -> None:
+        """Check control-flow consistency of the recorded stream.
+
+        Every instruction's recorded ``next_pc`` must equal the PC of the
+        following record — a trace is a *connected* dynamic path.
+        """
+        if len(self) < 2:
+            return
+        mismatches = np.nonzero(self.next_pcs[:-1] != self.pcs[1:])[0]
+        if len(mismatches):
+            index = int(mismatches[0])
+            raise ValueError(
+                f"trace {self.name!r} broken at index {index}: "
+                f"next_pc {int(self.next_pcs[index]):#x} != pc {int(self.pcs[index + 1]):#x}"
+            )
+        unconditional = np.isin(
+            self.branch_classes,
+            [
+                BranchClass.UNCOND_DIRECT,
+                BranchClass.CALL_DIRECT,
+                BranchClass.CALL_INDIRECT,
+                BranchClass.INDIRECT,
+                BranchClass.RETURN,
+            ],
+        )
+        if not self.takens[unconditional].all():
+            raise ValueError(f"trace {self.name!r} has a not-taken unconditional branch")
+
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            path,
+            name=np.array(self.name),
+            pcs=self.pcs,
+            branch_classes=self.branch_classes,
+            takens=self.takens,
+            targets=self.targets,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        with np.load(path) as data:
+            return cls(
+                name=str(data["name"]),
+                pcs=data["pcs"],
+                branch_classes=data["branch_classes"],
+                takens=data["takens"],
+                targets=data["targets"],
+            )
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, {len(self)} instructions)"

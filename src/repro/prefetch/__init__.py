@@ -1,0 +1,27 @@
+"""Standalone L1I prefetchers — the IPC1 baselines of paper Section III-C.
+
+* :mod:`repro.prefetch.base` — the prefetcher interface and a next-line
+  reference implementation.
+* :mod:`repro.prefetch.fnl_mma` — FNL+MMA (footprint next-line + multiple
+  miss ahead), Seznec's IPC1 winner, plus its improved "++" tuning.
+* :mod:`repro.prefetch.djolt` — D-JOLT (distant jolt) prefetcher.
+* :mod:`repro.prefetch.entangling` — the Entangling prefetcher (EP) and
+  its optimised EP++ flavour.
+
+All prefetchers see demand accesses at line granularity and issue
+prefetches through the shared L1I prefetch queue.
+"""
+
+from repro.prefetch.base import L1IPrefetcher, NextLinePrefetcher, make_prefetcher
+from repro.prefetch.djolt import DJoltPrefetcher
+from repro.prefetch.entangling import EntanglingPrefetcher
+from repro.prefetch.fnl_mma import FnlMmaPrefetcher
+
+__all__ = [
+    "L1IPrefetcher",
+    "NextLinePrefetcher",
+    "FnlMmaPrefetcher",
+    "DJoltPrefetcher",
+    "EntanglingPrefetcher",
+    "make_prefetcher",
+]

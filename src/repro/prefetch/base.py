@@ -1,0 +1,69 @@
+"""L1I prefetcher interface and the next-line reference prefetcher.
+
+Prefetchers observe demand accesses to the L1I at cache-line granularity
+and enqueue prefetches into the shared L1I prefetch queue (one issue per
+cycle, paper Section IV-D).  ``storage_kb`` feeds the cost/benefit study
+of Fig. 16 (values follow the IPC1 write-ups).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.caches.hierarchy import MemoryHierarchy
+
+
+class L1IPrefetcher(ABC):
+    """Base class: observe demand accesses, enqueue prefetches."""
+
+    name = "base"
+    storage_kb = 0.0
+
+    @abstractmethod
+    def on_demand_access(
+        self, line: int, hit: bool, cycle: int, hierarchy: MemoryHierarchy
+    ) -> None:
+        """Called for every demand L1I access (line number, hit/miss)."""
+
+    def on_prefetch_fill(self, line: int, cycle: int) -> None:
+        """Called when a prefetched line arrives (optional hook)."""
+
+    def _prefetch(self, hierarchy: MemoryHierarchy, line: int) -> bool:
+        if line < 0:
+            return False
+        return hierarchy.enqueue_prefetch(line * hierarchy.config.l1i.line_size)
+
+
+class NextLinePrefetcher(L1IPrefetcher):
+    """Prefetch the next ``degree`` sequential lines on every access."""
+
+    name = "next_line"
+    storage_kb = 0.0
+
+    def __init__(self, degree: int = 2) -> None:
+        self.degree = degree
+
+    def on_demand_access(self, line, hit, cycle, hierarchy) -> None:
+        for step in range(1, self.degree + 1):
+            self._prefetch(hierarchy, line + step)
+
+
+def make_prefetcher(name: str | None) -> L1IPrefetcher | None:
+    """Factory for the prefetchers evaluated in paper Fig. 5/16."""
+    if name is None:
+        return None
+    from repro.prefetch.djolt import DJoltPrefetcher
+    from repro.prefetch.entangling import EntanglingPrefetcher
+    from repro.prefetch.fnl_mma import FnlMmaPrefetcher
+
+    factories = {
+        "next_line": NextLinePrefetcher,
+        "fnl_mma": FnlMmaPrefetcher,
+        "fnl_mma++": lambda: FnlMmaPrefetcher(plus_plus=True),
+        "djolt": DJoltPrefetcher,
+        "ep": EntanglingPrefetcher,
+        "ep++": lambda: EntanglingPrefetcher(plus_plus=True),
+    }
+    if name not in factories:
+        raise KeyError(f"unknown L1I prefetcher {name!r}; choose from {sorted(factories)}")
+    return factories[name]()

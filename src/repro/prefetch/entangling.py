@@ -1,0 +1,65 @@
+"""Entangling Prefetcher (EP / EP++) — Ros & Jimborean, IPC1 / ISCA'21.
+
+The entangling idea: when line ``D`` misses, find the line ``S`` that was
+fetched just early enough that prefetching ``D`` when ``S`` is fetched
+would have hidden the whole miss latency, and *entangle* ``S → D``.  On
+every access to ``S``, its entangled destinations are prefetched.
+
+We re-implement the core mechanism: a circular history of recently
+fetched lines with their fetch cycles, an entangling table (source →
+up to ``k`` destinations), and latency-aware source selection.  The
+``plus_plus`` flavour models the further-optimised version [60] with more
+destinations per source and a larger table.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.prefetch.base import L1IPrefetcher
+
+
+class EntanglingPrefetcher(L1IPrefetcher):
+    def __init__(self, plus_plus: bool = False) -> None:
+        self.plus_plus = plus_plus
+        self.name = "ep++" if plus_plus else "ep"
+        # Cost-effective EP ≈ 40KB; EP++ somewhat larger.
+        self.storage_kb = 60.0 if plus_plus else 40.0
+
+        self._table_size = 4096 if plus_plus else 2048
+        self._dst_slots = 4 if plus_plus else 2
+        #: source line -> entangled destination lines.
+        self._entangled: dict[int, list[int]] = {}
+        #: recent fetches: (line, cycle), newest right.
+        self._history: deque[tuple[int, int]] = deque(maxlen=128)
+        #: latency to hide when choosing the entangling source.
+        self._target_latency = 40
+
+    def on_demand_access(self, line, hit, cycle, hierarchy) -> None:
+        # Issue: accesses trigger their entangled destinations.
+        for destination in self._entangled.get(line, ()):
+            self._prefetch(hierarchy, destination)
+
+        if not hit:
+            self._entangle(line, cycle)
+        self._history.append((line, cycle))
+
+    def _entangle(self, missed_line: int, cycle: int) -> None:
+        """Pick the youngest source old enough to hide the miss latency."""
+        source = None
+        for past_line, past_cycle in reversed(self._history):
+            if cycle - past_cycle >= self._target_latency:
+                source = past_line
+                break
+        if source is None:
+            if not self._history:
+                return
+            source = self._history[0][0]  # oldest available
+        if source == missed_line:
+            return
+        slots = self._entangled.setdefault(source, [])
+        if missed_line not in slots:
+            slots.insert(0, missed_line)
+            del slots[self._dst_slots:]
+        if len(self._entangled) > self._table_size:
+            self._entangled.pop(next(iter(self._entangled)))

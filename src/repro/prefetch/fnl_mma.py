@@ -1,0 +1,87 @@
+"""FNL+MMA — "The FNL+MMA instruction cache prefetcher" (Seznec, IPC1).
+
+Two cooperating components, re-implemented from the championship write-up:
+
+* **FNL (Footprint Next Line)** — a worthiness table of saturating
+  counters tracks, per line, whether the *next* sequential lines were
+  actually used shortly after; sequential prefetch is issued only for
+  lines with a history of being worth it.
+* **MMA (Multiple Miss Ahead)** — a miss-successor table chains demand
+  misses: on a miss, the misses that historically followed it are
+  prefetched several misses ahead, covering non-sequential jumps.
+
+The ``plus_plus`` flavour (FNL-MMA++ in paper Fig. 5/16) doubles table
+sizes and prefetch degrees, matching the author's updated version.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import L1IPrefetcher
+
+
+class FnlMmaPrefetcher(L1IPrefetcher):
+    def __init__(self, plus_plus: bool = False) -> None:
+        self.plus_plus = plus_plus
+        self.name = "fnl_mma++" if plus_plus else "fnl_mma"
+        # Championship storage: ~13KB base; ++ roughly doubles it.
+        self.storage_kb = 26.0 if plus_plus else 13.0
+
+        size = 4096 if plus_plus else 2048
+        self._worth_size = size
+        #: FNL worthiness: 2-bit counters, indexed by line hash.
+        self._worth = [1] * size
+        self._next_degree = 3 if plus_plus else 2
+
+        mma_size = 2048 if plus_plus else 1024
+        self._mma_size = mma_size
+        #: MMA: miss line -> up to ``_succ_slots`` successor miss lines.
+        self._succ: dict[int, list[int]] = {}
+        self._succ_slots = 3 if plus_plus else 2
+        self._last_misses: list[int] = []
+        self._last_line: int | None = None
+
+    def _worth_index(self, line: int) -> int:
+        return (line ^ (line >> 7)) % self._worth_size
+
+    def on_demand_access(self, line, hit, cycle, hierarchy) -> None:
+        # --- FNL training: a sequential access pattern strengthens the
+        # worthiness of the previous line's next-line footprint.
+        if self._last_line is not None:
+            index = self._worth_index(self._last_line)
+            if line == self._last_line + 1:
+                self._worth[index] = min(3, self._worth[index] + 1)
+            elif line != self._last_line:
+                self._worth[index] = max(0, self._worth[index] - 1)
+        self._last_line = line
+
+        # --- FNL issue: prefetch the next lines when deemed worthwhile.
+        if self._worth[self._worth_index(line)] >= 2:
+            for step in range(1, self._next_degree + 1):
+                self._prefetch(hierarchy, line + step)
+
+        if not hit:
+            self._on_miss(line, hierarchy)
+
+    def _on_miss(self, line: int, hierarchy) -> None:
+        # --- MMA training: record this miss as successor of recent misses.
+        for distance, previous in enumerate(reversed(self._last_misses)):
+            slots = self._succ.setdefault(previous, [])
+            if line not in slots:
+                slots.insert(0, line)
+                del slots[self._succ_slots:]
+            if len(self._succ) > self._mma_size:
+                self._succ.pop(next(iter(self._succ)))
+        self._last_misses.append(line)
+        del self._last_misses[:-2]
+
+        # --- MMA issue: prefetch the misses that historically follow.
+        frontier = [line]
+        for _ in range(2):  # look two miss-steps ahead
+            next_frontier = []
+            for miss in frontier:
+                for successor in self._succ.get(miss, ()):
+                    if self._prefetch(hierarchy, successor):
+                        next_frontier.append(successor)
+            frontier = next_frontier
+            if not frontier:
+                break

@@ -1,0 +1,43 @@
+"""Synthetic workload generation — the CVP-1 trace substitute.
+
+The paper evaluates on 306 proprietary Qualcomm datacenter traces (CVP-1
+"secret" set).  Those are not redistributable, so this package builds the
+closest synthetic equivalent: stochastic programs (control-flow graphs with
+functions, loops, indirect dispatch) whose *static code footprint* and
+*branch predictability mixture* are explicit knobs.  Walking a program
+yields a control-flow-consistent dynamic :class:`~repro.isa.trace.Trace`.
+
+The named suite in :mod:`repro.workloads.suite` spans the same qualitative
+regimes as the paper's traces: µ-op cache hit rates from ~30% to ~99% and
+conditional MPKI from well under 1 to ~8.
+"""
+
+from repro.workloads.behaviors import (
+    Bernoulli,
+    BranchBehavior,
+    GlobalCorrelated,
+    LoopTrip,
+    Pattern,
+)
+from repro.workloads.cfg import BasicBlock, Function, Program, TerminatorKind
+from repro.workloads.generator import ProgramGenerator, WorkloadConfig, generate_trace
+from repro.workloads.suite import SUITE, WorkloadSpec, load_suite, load_workload
+
+__all__ = [
+    "BranchBehavior",
+    "Bernoulli",
+    "Pattern",
+    "LoopTrip",
+    "GlobalCorrelated",
+    "BasicBlock",
+    "Function",
+    "Program",
+    "TerminatorKind",
+    "WorkloadConfig",
+    "ProgramGenerator",
+    "generate_trace",
+    "SUITE",
+    "WorkloadSpec",
+    "load_workload",
+    "load_suite",
+]

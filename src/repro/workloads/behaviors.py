@@ -1,0 +1,139 @@
+"""Branch direction behaviours for synthetic conditional branches.
+
+Each static conditional branch in a generated program owns a behaviour
+object deciding its dynamic outcomes.  The mixture of behaviours determines
+which predictor component (bimodal / TAGE tagged tables / loop predictor /
+statistical corrector) can capture the branch, and therefore reproduces the
+per-component confidence structure of paper Fig. 6/7:
+
+* :class:`Bernoulli` — i.i.d. coin flips.  Near-certain probabilities make
+  bimodal-friendly biased branches; probabilities near 0.5 make genuinely
+  hard-to-predict (H2P) branches that no history can capture.
+* :class:`Pattern` — a fixed repeating direction sequence; predictable by a
+  tagged table whose history window covers the period.
+* :class:`LoopTrip` — taken ``trip - 1`` times then not taken, resampling
+  the trip count per loop entry; fixed trips are loop-predictor food.
+* :class:`GlobalCorrelated` — the outcome is a (noisy) parity of recent
+  *global* conditional outcomes, i.e. classic history correlation that only
+  long-history TAGE tables capture.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class BranchBehavior(ABC):
+    """Decides successive dynamic outcomes of one static conditional."""
+
+    @abstractmethod
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        """Return the next direction.
+
+        ``global_history`` packs recent global conditional outcomes,
+        newest in bit 0, so correlated behaviours can consult it.
+        """
+
+    def reset(self) -> None:
+        """Forget per-instance state (called when a fresh walk starts)."""
+
+
+class Bernoulli(BranchBehavior):
+    """Independent outcomes, taken with probability ``p``."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p}")
+        self.p = p
+
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        return rng.random() < self.p
+
+    def __repr__(self) -> str:
+        return f"Bernoulli(p={self.p})"
+
+
+class Pattern(BranchBehavior):
+    """A deterministic repeating sequence of directions."""
+
+    def __init__(self, pattern: list[bool]) -> None:
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = list(pattern)
+        self._index = 0
+
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        outcome = self.pattern[self._index]
+        self._index = (self._index + 1) % len(self.pattern)
+        return outcome
+
+    def reset(self) -> None:
+        self._index = 0
+
+    def __repr__(self) -> str:
+        bits = "".join("T" if bit else "N" for bit in self.pattern)
+        return f"Pattern({bits})"
+
+
+class LoopTrip(BranchBehavior):
+    """A loop back-edge: taken while iterations remain, then falls out.
+
+    The trip count is (re)sampled uniformly from ``[min_trip, max_trip]``
+    every time the loop is re-entered.  ``min_trip == max_trip`` yields the
+    fixed-trip loops that a loop predictor captures perfectly.
+    """
+
+    def __init__(self, min_trip: int, max_trip: int | None = None) -> None:
+        max_trip = min_trip if max_trip is None else max_trip
+        if min_trip < 1 or max_trip < min_trip:
+            raise ValueError(f"invalid trip range [{min_trip}, {max_trip}]")
+        self.min_trip = min_trip
+        self.max_trip = max_trip
+        self._remaining: int | None = None
+
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        if self._remaining is None:
+            self._remaining = rng.randint(self.min_trip, self.max_trip)
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self._remaining = None  # loop exits; resample on re-entry
+            return False
+        return True
+
+    def reset(self) -> None:
+        self._remaining = None
+
+    def __repr__(self) -> str:
+        return f"LoopTrip({self.min_trip}, {self.max_trip})"
+
+
+class GlobalCorrelated(BranchBehavior):
+    """Outcome correlates with recent global conditional history.
+
+    Computes the parity of ``taps`` selected global-history bits and flips
+    it with probability ``noise``.  With low noise this is exactly the class
+    of branches long-history TAGE tables predict and short predictors miss.
+    """
+
+    def __init__(self, taps: list[int], noise: float = 0.0) -> None:
+        if not taps:
+            raise ValueError("need at least one history tap")
+        if any(tap < 0 for tap in taps):
+            raise ValueError("taps must be non-negative bit indices")
+        if not 0.0 <= noise <= 0.5:
+            raise ValueError(f"noise must be in [0, 0.5], got {noise}")
+        self.taps = list(taps)
+        self.noise = noise
+
+    def next_outcome(self, rng: random.Random, global_history: int) -> bool:
+        parity = 0
+        for tap in self.taps:
+            parity ^= (global_history >> tap) & 1
+        outcome = bool(parity)
+        if self.noise and rng.random() < self.noise:
+            outcome = not outcome
+        return outcome
+
+    def __repr__(self) -> str:
+        return f"GlobalCorrelated(taps={self.taps}, noise={self.noise})"

@@ -1,0 +1,188 @@
+"""The named workload suite — this repo's stand-in for the CVP-1 trace set.
+
+The paper's 306 CVP-1 traces split into datacenter (srv), integer, crypto
+and FP categories, with 90% of hot code averaging 120KB against a 16KB
+µ-op cache reach and a 32KB L1I (Section III-A).  The suite below spans the
+same regimes with explicit footprints (4 bytes per instruction):
+
+* ``srv_*``  — datacenter-like: 80–400KB static code, deep call graphs,
+  moderate-to-high H2P fractions → µ-op cache hit rates ~30–70%.
+* ``int_*``  — mid-size: 20–50KB code, mixed predictability.
+* ``crypto_*`` — small hot loops, highly predictable → ~99% hit rates.
+* ``fp_*``   — tiny loopy kernels.
+
+Traces are deterministic per (name, length) and cached in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+
+from repro.isa.trace import Trace
+from repro.workloads.generator import WorkloadConfig, generate_trace
+
+
+def _srv(name: str, seed: int, functions: int, h2p: float, **extra: float) -> WorkloadConfig:
+    """Datacenter-style config: big footprint, many calls, noticeable H2P."""
+    kwargs = dict(
+        blocks_per_function=20,
+        block_size_mean=8.5,
+        cond_weight=0.45,
+        fallthrough_weight=0.3,
+        call_weight=0.14,
+        indirect_weight=0.04,
+        dispatch_skew=1.1,
+        h2p_fraction=h2p,
+        biased_fraction=0.92 - h2p,
+        correlated_fraction=0.02,
+        pattern_fraction=0.01,
+    )
+    kwargs.update(extra)
+    return WorkloadConfig(name=name, seed=seed, n_functions=functions, **kwargs)
+
+
+def _int(name: str, seed: int, functions: int, h2p: float) -> WorkloadConfig:
+    return WorkloadConfig(
+        name=name,
+        seed=seed,
+        n_functions=functions,
+        blocks_per_function=16,
+        block_size_mean=7.5,
+        cond_weight=0.45,
+        fallthrough_weight=0.3,
+        call_weight=0.08,
+        h2p_fraction=h2p,
+        biased_fraction=0.84 - h2p,
+        correlated_fraction=0.04,
+        pattern_fraction=0.03,
+    )
+
+
+def _crypto(name: str, seed: int, functions: int) -> WorkloadConfig:
+    return WorkloadConfig(
+        name=name,
+        seed=seed,
+        n_functions=functions,
+        blocks_per_function=12,
+        block_size_mean=9.0,
+        call_weight=0.06,
+        indirect_weight=0.01,
+        loop_fraction=0.35,
+        loop_variable_fraction=0.05,
+        h2p_fraction=0.01,
+        biased_fraction=0.66,
+        correlated_fraction=0.18,
+        pattern_fraction=0.15,
+    )
+
+
+def _fp(name: str, seed: int, functions: int) -> WorkloadConfig:
+    return WorkloadConfig(
+        name=name,
+        seed=seed,
+        n_functions=functions,
+        blocks_per_function=10,
+        block_size_mean=11.0,
+        call_weight=0.04,
+        indirect_weight=0.0,
+        loop_fraction=0.45,
+        loop_trip_min=4,
+        loop_trip_max=40,
+        loop_variable_fraction=0.05,
+        h2p_fraction=0.01,
+        biased_fraction=0.62,
+        correlated_fraction=0.2,
+        pattern_fraction=0.17,
+    )
+
+
+#: One entry per workload: the generator configuration it is built from.
+SUITE: dict[str, WorkloadConfig] = {
+    # Datacenter: footprints from ~90KB up to ~400KB of static code.
+    "srv_01": _srv("srv_01", seed=101, functions=160, h2p=0.03),
+    "srv_02": _srv("srv_02", seed=102, functions=220, h2p=0.05),
+    "srv_03": _srv("srv_03", seed=103, functions=190, h2p=0.02),
+    "srv_04": _srv("srv_04", seed=104, functions=240, h2p=0.06),
+    "srv_05": _srv("srv_05", seed=105, functions=260, h2p=0.08, loop_fraction=0.15),
+    "srv_06": _srv("srv_06", seed=106, functions=300, h2p=0.035),
+    "srv_07": _srv("srv_07", seed=107, functions=150, h2p=0.015, loop_fraction=0.3),
+    # Integer: 20-60KB of code, varied predictability.
+    "int_01": _int("int_01", seed=201, functions=40, h2p=0.02),
+    "int_02": _int("int_02", seed=202, functions=64, h2p=0.04),
+    "int_03": _int("int_03", seed=203, functions=90, h2p=0.06),
+    "int_04": _int("int_04", seed=204, functions=52, h2p=0.01),
+    # Crypto: small, regular, predictable code.
+    "crypto_01": _crypto("crypto_01", seed=301, functions=10),
+    "crypto_02": _crypto("crypto_02", seed=302, functions=16),
+    "crypto_03": _crypto("crypto_03", seed=303, functions=24),
+    # FP: tiny loop nests.
+    "fp_01": _fp("fp_01", seed=401, functions=6),
+    "fp_02": _fp("fp_02", seed=402, functions=12),
+    # Web: mid-large footprint with heavy indirect dispatch (template
+    # engines / routing tables).
+    "web_01": _srv(
+        "web_01", seed=501, functions=180, h2p=0.04,
+        indirect_weight=0.08, indirect_fanout=6, dispatch_skew=0.7,
+    ),
+    "web_02": _srv(
+        "web_02", seed=502, functions=260, h2p=0.06,
+        indirect_weight=0.08, indirect_fanout=6, dispatch_skew=0.9,
+    ),
+    # DB: large footprint, deeper call chains, loopier operators.
+    "db_01": _srv(
+        "db_01", seed=601, functions=220, h2p=0.05,
+        loop_fraction=0.22, loop_trip_max=16, call_depth_levels=6,
+    ),
+    "db_02": _srv(
+        "db_02", seed=602, functions=320, h2p=0.07,
+        loop_fraction=0.18, loop_trip_max=16, call_depth_levels=6,
+    ),
+    # Mixed: between int and srv regimes.
+    "mix_01": _int("mix_01", seed=701, functions=110, h2p=0.05),
+    "mix_02": _int("mix_02", seed=702, functions=140, h2p=0.08),
+}
+
+#: Symbolic groups for experiments that slice by category.
+CATEGORIES: dict[str, list[str]] = {
+    prefix: [name for name in SUITE if name.startswith(prefix)]
+    for prefix in ("srv", "int", "crypto", "fp", "web", "db", "mix")
+}
+
+
+class WorkloadSpec:
+    """Resolved workload: its config plus the generated trace."""
+
+    def __init__(self, config: WorkloadConfig, trace: Trace) -> None:
+        self.config = config
+        self.trace = trace
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def __repr__(self) -> str:
+        return f"WorkloadSpec({self.name!r}, {len(self.trace)} instructions)"
+
+
+@lru_cache(maxsize=64)
+def _cached_trace(name: str, n_instructions: int) -> Trace:
+    config = replace(SUITE[name], n_instructions=n_instructions)
+    return generate_trace(config)
+
+
+def load_workload(name: str, n_instructions: int | None = None) -> WorkloadSpec:
+    """Materialise one suite workload (traces are cached per length)."""
+    if name not in SUITE:
+        raise KeyError(f"unknown workload {name!r}; choose from {sorted(SUITE)}")
+    config = SUITE[name]
+    length = n_instructions if n_instructions is not None else config.n_instructions
+    return WorkloadSpec(replace(config, n_instructions=length), _cached_trace(name, length))
+
+
+def load_suite(
+    names: list[str] | None = None, n_instructions: int | None = None
+) -> list[WorkloadSpec]:
+    """Materialise several workloads (default: the full suite)."""
+    names = list(SUITE) if names is None else names
+    return [load_workload(name, n_instructions) for name in names]

@@ -1,0 +1,299 @@
+"""Tests for the cache substrate: generic caches, hierarchy, µ-op cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.caches import (
+    CacheConfig,
+    MemoryHierarchy,
+    SetAssocCache,
+    UopCache,
+    UopCacheConfig,
+    UopCacheEntry,
+    UopEntryBuilder,
+)
+from repro.caches.uopcache import REGION_BYTES
+
+
+def small_cache(ways=2, sets=4, mshr=2, latency=3) -> SetAssocCache:
+    return SetAssocCache(
+        CacheConfig("test", size_bytes=64 * ways * sets, ways=ways, hit_latency=latency, mshr_entries=mshr)
+    )
+
+
+class TestSetAssocCache:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        hit, ready = cache.access(0x1000, cycle=0, fill_latency=10)
+        assert not hit
+        assert ready == 0 + 3 + 10
+        # After the fill arrives, the line hits.
+        hit, ready = cache.access(0x1000, cycle=20, fill_latency=10)
+        assert hit
+        assert ready == 23
+
+    def test_same_line_different_offsets(self):
+        cache = small_cache()
+        cache.access(0x1000, 0, 10)
+        hit, _ = cache.access(0x103C, 50, 10)  # same 64B line
+        assert hit
+
+    def test_mshr_merge_before_fill(self):
+        cache = small_cache()
+        _, first_ready = cache.access(0x1000, 0, 100)
+        hit, merged_ready = cache.access(0x1000, 5, 100)
+        assert not hit
+        assert merged_ready == first_ready
+        assert cache.mshr_merges == 1
+
+    def test_mshr_backpressure(self):
+        cache = small_cache(mshr=1)
+        _, first_ready = cache.access(0x1000, 0, 100)
+        _, second_ready = cache.access(0x2000, 1, 100)
+        # The second miss cannot start before the first fill completes.
+        assert second_ready >= first_ready + 100
+        assert cache.mshr_stalls == 1
+
+    def test_lru_eviction(self):
+        cache = small_cache(ways=2, sets=1)
+        for addr in (0x0, 0x40, 0x80):  # three lines, one set
+            cache.access(addr, 1000 * addr, 0)
+        assert not cache.probe(0x0)
+        assert cache.probe(0x40)
+        assert cache.probe(0x80)
+
+    def test_touch_refreshes_lru(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.allocate(0x0)
+        cache.allocate(0x40)
+        assert cache.touch(0x0)
+        cache.allocate(0x80)  # should evict 0x40
+        assert cache.probe(0x0)
+        assert not cache.probe(0x40)
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.allocate(0x1000)
+        assert cache.invalidate(0x1000)
+        assert not cache.probe(0x1000)
+        assert not cache.invalidate(0x1000)
+
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.access(0x1000, 0, 0)
+        cache.access(0x1000, 100, 0)
+        assert cache.hit_rate == 0.5
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size_bytes=16, ways=2, line_size=64).n_sets
+
+
+class TestMemoryHierarchy:
+    def test_cold_fetch_pays_full_path(self):
+        hierarchy = MemoryHierarchy()
+        hit, ready = hierarchy.fetch_line(0x1000, 0)
+        assert not hit
+        # L1I(4) + L2(10) + LLC(40) + DRAM(150)
+        assert ready == 4 + 10 + 40 + 150
+
+    def test_warm_fetch_hits_l1i(self):
+        hierarchy = MemoryHierarchy()
+        _, ready = hierarchy.fetch_line(0x1000, 0)
+        hit, ready2 = hierarchy.fetch_line(0x1000, ready + 1)
+        assert hit
+        assert ready2 == ready + 1 + 4
+
+    def test_l2_retains_after_l1i_eviction(self):
+        hierarchy = MemoryHierarchy()
+        _, r = hierarchy.fetch_line(0x1000, 0)
+        cycle = r + 1
+        # Evict 0x1000 from L1I by filling its set (8 ways; same set every
+        # 32KB/8 = 4KB stride at 64B lines -> stride 4096 maps to same set).
+        stride = 64 * hierarchy.l1i.config.n_sets
+        for i in range(1, 9):
+            _, r = hierarchy.fetch_line(0x1000 + i * stride, cycle)
+            cycle = r + 1
+        assert not hierarchy.l1i.probe(0x1000)
+        hit, ready = hierarchy.fetch_line(0x1000, cycle)
+        assert not hit
+        # Should be an L2 hit: L1I(4) + L2(10), far below the DRAM path.
+        assert ready - cycle == 14
+
+    def test_prefetch_queue_dedups(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.enqueue_prefetch(0x4000)
+        assert not hierarchy.enqueue_prefetch(0x4000)  # already queued
+        assert not hierarchy.enqueue_prefetch(0x4004)  # same line
+
+    def test_prefetch_skips_resident_lines(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.fetch_line(0x1000, 0)
+        assert not hierarchy.enqueue_prefetch(0x1000)
+
+    def test_prefetch_queue_capacity(self):
+        hierarchy = MemoryHierarchy()
+        for i in range(hierarchy.config.prefetch_queue_entries):
+            assert hierarchy.enqueue_prefetch(0x100000 + i * 64)
+        assert not hierarchy.enqueue_prefetch(0x900000)
+        assert hierarchy.prefetches_dropped == 1
+
+    def test_tick_prefetch_fills_l1i(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.enqueue_prefetch(0x4000)
+        result = hierarchy.tick_prefetch(0)
+        assert result is not None
+        addr, ready = result
+        assert hierarchy.l1i.probe(0x4000)
+        assert ready > 0
+        # Later demand access hits.
+        hit, _ = hierarchy.fetch_line(0x4000, ready + 1)
+        assert hit
+
+    def test_tick_prefetch_empty(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.tick_prefetch(0) is None
+
+
+class TestUopCache:
+    def test_lookup_miss_then_insert_hit(self):
+        cache = UopCache()
+        assert cache.lookup(0x1000) is None
+        cache.insert(UopCacheEntry(0x1000, 4, 0x1010))
+        entry = cache.lookup(0x1000)
+        assert entry is not None
+        assert entry.n_uops == 4
+
+    def test_keyed_by_start_pc(self):
+        cache = UopCache()
+        cache.insert(UopCacheEntry(0x1000, 8, 0x1020))
+        # A lookup in the middle of the entry misses (keyed by start).
+        assert cache.lookup(0x1008) is None
+
+    def test_lru_eviction_within_set(self):
+        config = UopCacheConfig(n_sets=2, ways=2)
+        cache = UopCache(config)
+        region = REGION_BYTES * config.n_sets
+        pcs = [0x1000, 0x1000 + region, 0x1000 + 2 * region]
+        for pc in pcs:
+            cache.insert(UopCacheEntry(pc, 4, pc + 16))
+        assert not cache.probe(pcs[0])
+        assert cache.probe(pcs[1]) and cache.probe(pcs[2])
+        assert cache.stats["evictions"] == 1
+
+    def test_prefetch_provenance(self):
+        cache = UopCache()
+        cache.insert(UopCacheEntry(0x1000, 4, 0x1010, from_prefetch=True))
+        assert cache.stats["prefetch_insertions"] == 1
+        cache.lookup(0x1000)
+        assert cache.stats["prefetched_entries_used"] == 1
+        # Second lookup doesn't double count first-use.
+        cache.lookup(0x1000)
+        assert cache.stats["prefetched_entries_used"] == 1
+
+    def test_unused_prefetch_eviction_counted(self):
+        config = UopCacheConfig(n_sets=1, ways=1)
+        cache = UopCache(config)
+        cache.insert(UopCacheEntry(0x1000, 4, 0x1010, from_prefetch=True))
+        cache.insert(UopCacheEntry(0x1000 + REGION_BYTES, 4, 0x1030))
+        assert cache.stats["prefetched_entries_evicted_unused"] == 1
+
+    def test_bank_mapping(self):
+        cache = UopCache()
+        assert cache.bank_of(0x1000) != cache.bank_of(0x1000 + REGION_BYTES)
+
+    def test_hit_rate(self):
+        cache = UopCache()
+        cache.insert(UopCacheEntry(0x1000, 4, 0x1010))
+        cache.lookup(0x1000)
+        cache.lookup(0x2000)
+        assert cache.hit_rate == 0.5
+
+    def test_occupancy(self):
+        cache = UopCache()
+        assert cache.occupancy() == 0
+        cache.insert(UopCacheEntry(0x1000, 4, 0x1010))
+        assert cache.occupancy() == 1
+
+
+class TestUopEntryBuilder:
+    def test_taken_branch_closes_entry(self):
+        builder = UopEntryBuilder()
+        assert builder.add(0x1000, False, False, 0x1004) == []
+        entries = builder.add(0x1004, True, True, 0x2000)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.start_pc == 0x1000
+        assert entry.n_uops == 2
+        assert entry.next_pc == 0x2000
+
+    def test_eight_uops_close_entry(self):
+        builder = UopEntryBuilder()
+        # Start at a region boundary so rule 2 doesn't fire first.
+        completed = []
+        for i in range(8):
+            completed += builder.add(0x1000 + 4 * i, False, False, 0x1000 + 4 * i + 4)
+        assert len(completed) == 1
+        assert completed[0].n_uops == 8
+
+    def test_region_boundary_closes_entry(self):
+        builder = UopEntryBuilder()
+        # Start 4 bytes before a 32B boundary: the first µ-op is the last
+        # in its region.
+        entries = builder.add(0x101C, False, False, 0x1020)
+        assert len(entries) == 1
+        assert entries[0].n_uops == 1
+        assert entries[0].next_pc == 0x1020
+
+    def test_third_branch_splits_entry(self):
+        builder = UopEntryBuilder(UopCacheConfig(max_branches_per_entry=2))
+        assert builder.add(0x1000, True, False, 0x1004) == []
+        assert builder.add(0x1004, True, False, 0x1008) == []
+        entries = builder.add(0x1008, True, False, 0x100C)
+        assert len(entries) == 1
+        assert entries[0].start_pc == 0x1000
+        assert entries[0].n_uops == 2
+        # The third branch starts the next entry.
+        assert builder.open_entry_start == 0x1008
+
+    def test_discontinuity_closes_entry(self):
+        builder = UopEntryBuilder()
+        builder.add(0x1000, False, False, 0x1004)
+        entries = builder.add(0x5000, False, False, 0x5004)
+        assert entries and entries[0].start_pc == 0x1000
+        assert entries[0].n_uops == 1
+        assert builder.open_entry_start == 0x5000
+
+    def test_flush_empty_returns_none(self):
+        builder = UopEntryBuilder()
+        assert builder.flush() is None
+
+    def test_prefetch_flag_propagates(self):
+        builder = UopEntryBuilder(from_prefetch=True)
+        entries = builder.add(0x1000, True, True, 0x2000)
+        assert entries[0].from_prefetch
+
+    @given(
+        start=st.integers(0, 1000),
+        steps=st.lists(
+            st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=64
+        ),
+    )
+    def test_entries_respect_all_limits(self, start, steps):
+        """Property: every produced entry obeys the termination rules."""
+        builder = UopEntryBuilder()
+        pc = 0x1000 + 4 * start
+        produced = []
+        for is_branch, taken in steps:
+            next_pc = pc + 4 if not (is_branch and taken) else pc + 0x100
+            produced += builder.add(pc, is_branch, taken, next_pc)
+            pc = next_pc
+        tail = builder.flush(next_pc=pc)
+        if tail:
+            produced.append(tail)
+        for entry in produced:
+            assert 1 <= entry.n_uops <= 8
+            # Entry stays inside one 32B region.
+            assert entry.start_pc // REGION_BYTES == entry.end_pc // REGION_BYTES
+            assert entry.end_pc == entry.start_pc + 4 * (entry.n_uops - 1)

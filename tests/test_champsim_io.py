@@ -1,0 +1,124 @@
+"""Tests for the ChampSim binary trace format import/export."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.isa import BranchClass
+from repro.isa.champsim import (
+    RECORD_BYTES,
+    dump_champsim,
+    load_champsim,
+)
+from repro.workloads import load_workload
+
+
+class TestRecordLayout:
+    def test_record_is_64_bytes(self):
+        assert RECORD_BYTES == 64
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("suffix", [".bin", ".xz", ".gz"])
+    def test_workload_roundtrip(self, tmp_path, suffix):
+        trace = load_workload("int_01", 1_500).trace
+        path = tmp_path / f"trace{suffix}"
+        dump_champsim(trace, path)
+        back = load_champsim(path)
+        assert len(back) == len(trace)
+        assert (back.pcs == trace.pcs).all()
+        assert (back.branch_classes == trace.branch_classes).all()
+        # Control flow round-trips exactly: next-PC streams are identical.
+        # (Taken flags may legitimately differ for taken branches targeting
+        # pc+4, which are control-flow-identical to not-taken.)
+        assert (back.next_pcs == trace.next_pcs).all()
+        back.validate()
+
+    def test_taken_to_fallthrough_demoted(self, tmp_path):
+        """A taken conditional targeting pc+4 imports as not-taken."""
+        from repro.isa import Trace, TraceEntry
+
+        trace = Trace.from_entries(
+            "adjacent",
+            [
+                TraceEntry(0x1000, BranchClass.COND_DIRECT, True, 0x1004),
+                TraceEntry(0x1004),
+            ],
+        )
+        path = tmp_path / "adj.bin"
+        dump_champsim(trace, path)
+        back = load_champsim(path)
+        assert bool(back.takens[0]) is False
+        assert back.next_pcs[0] == 0x1004
+
+    def test_max_instructions_cap(self, tmp_path):
+        trace = load_workload("fp_01", 1_000).trace
+        path = tmp_path / "t.bin"
+        dump_champsim(trace, path)
+        back = load_champsim(path, max_instructions=300)
+        assert len(back) == 300
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        trace = load_workload("fp_01", 200).trace
+        path = tmp_path / "mystem.bin"
+        dump_champsim(trace, path)
+        assert load_champsim(path).name == "mystem"
+        assert load_champsim(path, name="given").name == "given"
+
+
+class TestBranchClassInference:
+    @pytest.mark.parametrize(
+        "branch_class",
+        [
+            BranchClass.COND_DIRECT,
+            BranchClass.UNCOND_DIRECT,
+            BranchClass.CALL_DIRECT,
+            BranchClass.CALL_INDIRECT,
+            BranchClass.INDIRECT,
+            BranchClass.RETURN,
+        ],
+    )
+    def test_every_class_roundtrips(self, tmp_path, branch_class):
+        from repro.isa import Trace, TraceEntry
+
+        taken = True
+        target = 0x2000
+        entries = [
+            TraceEntry(0x1000, branch_class, taken, target),
+            TraceEntry(target),
+        ]
+        trace = Trace.from_entries("one", entries)
+        path = tmp_path / "one.bin"
+        dump_champsim(trace, path)
+        back = load_champsim(path)
+        assert BranchClass(int(back.branch_classes[0])) is branch_class
+
+    def test_truncated_file_handled(self, tmp_path):
+        path = tmp_path / "trunc.bin"
+        # One full record plus a partial one.
+        full = struct.pack("<Q B B 2B 4B 2Q 4Q", 0x1000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        path.write_bytes(full + b"\x00" * 10)
+        trace = load_champsim(path)
+        assert len(trace) == 1
+
+    def test_unaligned_ips_snapped(self, tmp_path):
+        path = tmp_path / "unaligned.bin"
+        record = struct.pack(
+            "<Q B B 2B 4B 2Q 4Q", 0x1003, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+        )
+        path.write_bytes(record)
+        trace = load_champsim(path)
+        assert int(trace.pcs[0]) == 0x1000
+
+
+class TestSimulationOnImportedTrace:
+    def test_imported_trace_simulates(self, tmp_path):
+        from repro.core import SimConfig, simulate
+
+        trace = load_workload("int_02", 2_000).trace
+        path = tmp_path / "sim.bin"
+        dump_champsim(trace, path)
+        back = load_champsim(path)
+        result = simulate(back, SimConfig())
+        assert result.ipc > 0

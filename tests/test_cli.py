@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloadsCommand:
+    def test_lists_suite(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "srv_01" in out and "crypto_01" in out and "fp_01" in out
+
+
+class TestSimulateCommand:
+    def test_baseline(self, capsys):
+        assert main(["simulate", "fp_01", "--instructions", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "hit rate" in out
+
+    def test_ucp_report(self, capsys):
+        assert main(
+            ["simulate", "int_03", "--instructions", "5000", "--ucp"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "UCP walks" in out
+        assert "prefetch accuracy" in out
+
+    def test_ucp_variant_implies_ucp(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "int_03",
+                "--instructions",
+                "4000",
+                "--ucp-variant",
+                "till-l1i",
+            ]
+        ) == 0
+        assert "UCP walks" in capsys.readouterr().out
+
+    def test_no_uop_cache(self, capsys):
+        assert main(
+            ["simulate", "fp_01", "--instructions", "3000", "--no-uop-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hit rate 0.0%" in out
+
+    def test_mutually_exclusive_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "fp_01", "--no-uop-cache", "--ideal-uop-cache"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "not_a_workload"])
+
+    def test_prefetcher_and_mrc(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "srv_02",
+                "--instructions",
+                "4000",
+                "--prefetcher",
+                "fnl_mma",
+                "--mrc",
+                "64",
+            ]
+        ) == 0
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+
+class TestExportCommand:
+    def test_export_text(self, tmp_path, capsys):
+        path = tmp_path / "trace.txt"
+        assert main(
+            ["export", "crypto_01", str(path), "--instructions", "400"]
+        ) == 0
+        content = path.read_text()
+        assert "# trace: crypto_01" in content
+        assert "NOT_BRANCH" in content
+
+    def test_export_npz_roundtrip(self, tmp_path):
+        from repro.isa import Trace
+
+        path = tmp_path / "trace.npz"
+        assert main(
+            ["export", "crypto_01", str(path), "--instructions", "400"]
+        ) == 0
+        loaded = Trace.load(path)
+        assert len(loaded) == 400
+        loaded.validate()

@@ -1,0 +1,134 @@
+"""Unit and property tests for saturating counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import SaturatingCounter, SignedSaturatingCounter, clamp
+
+
+class TestSaturatingCounter:
+    def test_initial_value(self):
+        counter = SaturatingCounter(bits=2)
+        assert counter.value == 0
+        assert counter.is_zero
+        assert not counter.is_saturated
+
+    def test_increment_saturates(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+        assert counter.is_saturated
+
+    def test_decrement_floors_at_zero(self):
+        counter = SaturatingCounter(bits=3, value=1)
+        counter.decrement(5)
+        assert counter.value == 0
+
+    def test_increment_amount(self):
+        counter = SaturatingCounter(bits=6)
+        counter.increment(10)
+        assert counter.value == 10
+        counter.increment(100)
+        assert counter.value == 63
+
+    def test_reset(self):
+        counter = SaturatingCounter(bits=4, value=7)
+        counter.reset()
+        assert counter.value == 0
+        counter.reset(15)
+        assert counter.value == 15
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, value=4)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, value=-1)
+
+    def test_invalid_reset(self):
+        counter = SaturatingCounter(bits=2)
+        with pytest.raises(ValueError):
+            counter.reset(4)
+
+    @given(
+        bits=st.integers(1, 10),
+        operations=st.lists(st.tuples(st.booleans(), st.integers(1, 5)), max_size=50),
+    )
+    def test_always_in_range(self, bits, operations):
+        counter = SaturatingCounter(bits)
+        for is_increment, amount in operations:
+            if is_increment:
+                counter.increment(amount)
+            else:
+                counter.decrement(amount)
+            assert 0 <= counter.value <= counter.max_value
+
+
+class TestSignedSaturatingCounter:
+    def test_range_3bit(self):
+        counter = SignedSaturatingCounter(bits=3)
+        assert counter.min_value == -4
+        assert counter.max_value == 3
+
+    def test_prediction_sign(self):
+        counter = SignedSaturatingCounter(bits=3, value=0)
+        assert counter.prediction is True
+        counter.update(False)
+        assert counter.value == -1
+        assert counter.prediction is False
+
+    def test_saturation_both_ends(self):
+        counter = SignedSaturatingCounter(bits=3)
+        for _ in range(10):
+            counter.update(True)
+        assert counter.value == 3 and counter.is_saturated
+        for _ in range(20):
+            counter.update(False)
+        assert counter.value == -4 and counter.is_saturated
+
+    def test_weak_centre(self):
+        assert SignedSaturatingCounter(3, value=0).is_weak
+        assert SignedSaturatingCounter(3, value=-1).is_weak
+        assert not SignedSaturatingCounter(3, value=1).is_weak
+
+    def test_strength_symmetry(self):
+        # TAGE convention: -1/0 weak (strength 0), -4/3 fully confident.
+        assert SignedSaturatingCounter(3, value=0).strength == 0
+        assert SignedSaturatingCounter(3, value=-1).strength == 0
+        assert SignedSaturatingCounter(3, value=3).strength == 3
+        assert SignedSaturatingCounter(3, value=-4).strength == 3
+        assert SignedSaturatingCounter(3, value=2).strength == 2
+        assert SignedSaturatingCounter(3, value=-3).strength == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(bits=1)
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(bits=3, value=4)
+
+    @given(bits=st.integers(2, 8), outcomes=st.lists(st.booleans(), max_size=60))
+    def test_always_in_range(self, bits, outcomes):
+        counter = SignedSaturatingCounter(bits)
+        for taken in outcomes:
+            counter.update(taken)
+            assert counter.min_value <= counter.value <= counter.max_value
+            assert 0 <= counter.strength <= counter.max_value
+
+
+class TestClamp:
+    def test_basic(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(11, 0, 10) == 10
+
+    def test_empty_interval(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 2)
+
+    @given(st.integers(), st.integers(-100, 100), st.integers(0, 100))
+    def test_result_in_interval(self, value, low, width):
+        result = clamp(value, low, low + width)
+        assert low <= result <= low + width

@@ -1,0 +1,77 @@
+"""Tests for LRU replacement state."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.lru import LRUSet
+
+
+class TestLRUSet:
+    def test_initial_victim_is_way_zero(self):
+        lru = LRUSet(4)
+        assert lru.victim() == 0
+
+    def test_touch_moves_to_mru(self):
+        lru = LRUSet(4)
+        lru.touch(0)
+        assert lru.victim() == 1
+        assert lru.recency(0) == 3
+
+    def test_victim_cycles_through_untouched(self):
+        lru = LRUSet(3)
+        lru.touch(0)
+        lru.touch(1)
+        assert lru.victim() == 2
+
+    def test_lru_order_after_sequence(self):
+        lru = LRUSet(4)
+        for way in [0, 1, 2, 3, 0, 2]:
+            lru.touch(way)
+        # Access order: 1 (oldest), 3, 0, 2 (newest)
+        assert lru.victim() == 1
+        assert lru.recency(2) == 3
+
+    def test_demote(self):
+        lru = LRUSet(4)
+        for way in range(4):
+            lru.touch(way)
+        lru.demote(3)
+        assert lru.victim() == 3
+
+    def test_out_of_range(self):
+        lru = LRUSet(2)
+        with pytest.raises(IndexError):
+            lru.touch(2)
+        with pytest.raises(IndexError):
+            lru.recency(-1)
+
+    def test_needs_at_least_one_way(self):
+        with pytest.raises(ValueError):
+            LRUSet(0)
+
+    @given(
+        ways=st.integers(1, 8),
+        touches=st.lists(st.integers(0, 7), max_size=64),
+    )
+    def test_victim_is_least_recent(self, ways, touches):
+        lru = LRUSet(ways)
+        last_touch: dict[int, int] = {}
+        for time, way in enumerate(touch % ways for touch in touches):
+            lru.touch(way)
+            last_touch[way] = time
+        victim = lru.victim()
+        # The victim must not have been touched after any untouched way
+        # exists, and among touched ways it must be the oldest.
+        untouched = [way for way in range(ways) if way not in last_touch]
+        if untouched:
+            assert victim in untouched
+        else:
+            assert last_touch[victim] == min(last_touch.values())
+
+    @given(ways=st.integers(1, 8), touches=st.lists(st.integers(0, 7), max_size=64))
+    def test_recencies_are_a_permutation(self, ways, touches):
+        lru = LRUSet(ways)
+        for touch in touches:
+            lru.touch(touch % ways)
+        assert sorted(lru.recency(way) for way in range(ways)) == list(range(ways))

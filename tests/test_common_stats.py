@@ -1,0 +1,107 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    StatBlock,
+    amean,
+    geomean,
+    geomean_speedup,
+    per_kilo,
+    percent,
+)
+
+
+class TestMeans:
+    def test_amean(self):
+        assert amean([1, 2, 3]) == 2.0
+        assert amean([]) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([-1.0])
+
+    def test_geomean_speedup_percent(self):
+        # Two runs at 1.02x -> geomean 1.02 -> 2%.
+        assert geomean_speedup([1.02, 1.02]) == pytest.approx(2.0)
+
+    def test_geomean_speedup_mixed(self):
+        assert geomean_speedup([1.1, 1.0 / 1.1]) == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.lists(st.floats(0.5, 2.0), min_size=1, max_size=20))
+    def test_geomean_between_min_and_max(self, values):
+        result = geomean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(0.5, 2.0), min_size=1, max_size=20))
+    def test_geomean_leq_amean(self, values):
+        assert geomean(values) <= amean(values) + 1e-9
+
+
+class TestRatios:
+    def test_percent(self):
+        assert percent(1, 4) == 25.0
+        assert percent(3, 0) == 0.0
+
+    def test_per_kilo(self):
+        assert per_kilo(5, 1000) == 5.0
+        assert per_kilo(5, 0) == 0.0
+
+
+class TestStatBlock:
+    def test_unknown_counter_reads_zero(self):
+        stats = StatBlock("frontend")
+        assert stats["nonexistent"] == 0
+        assert "nonexistent" not in stats
+
+    def test_add_and_read(self):
+        stats = StatBlock()
+        stats.add("hits")
+        stats.add("hits", 4)
+        assert stats["hits"] == 5
+
+    def test_set_overwrites(self):
+        stats = StatBlock()
+        stats.add("x", 3)
+        stats.set("x", 1)
+        assert stats["x"] == 1
+
+    def test_merge_with_prefix(self):
+        a = StatBlock("a")
+        b = StatBlock("b")
+        a.add("hits", 2)
+        b.add("hits", 3)
+        a.merge(b, prefix="uop.")
+        assert a["hits"] == 2
+        assert a["uop.hits"] == 3
+
+    def test_merge_accumulates(self):
+        a = StatBlock()
+        b = StatBlock()
+        a.add("n", 1)
+        b.add("n", 2)
+        a.merge(b)
+        assert a["n"] == 3
+
+    def test_keys_sorted(self):
+        stats = StatBlock()
+        stats.add("zeta")
+        stats.add("alpha")
+        assert stats.keys() == ["alpha", "zeta"]
+
+    def test_as_dict_is_copy(self):
+        stats = StatBlock()
+        stats.add("k", 1)
+        snapshot = stats.as_dict()
+        snapshot["k"] = 99
+        assert stats["k"] == 1

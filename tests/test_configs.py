@@ -1,0 +1,87 @@
+"""Tests for simulation configuration plumbing."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.codemap import CodeMap
+from repro.core.configs import BackendConfig, FrontendConfig, SimConfig, UCPConfig
+from repro.isa import BranchClass
+
+
+class TestSimConfig:
+    def test_hashable_for_caching(self):
+        # The experiment runner keys caches on config repr/hash.
+        a, b = SimConfig(), SimConfig()
+        assert hash(a) == hash(b)
+        assert repr(a) == repr(b)
+
+    def test_without_uop_cache(self):
+        config = SimConfig().without_uop_cache()
+        assert config.uop_cache is None
+        assert SimConfig().uop_cache is not None  # original untouched
+
+    def test_with_uop_cache_kops_geometry(self):
+        for kops in (4, 8, 16, 32, 64):
+            config = SimConfig().with_uop_cache_kops(kops)
+            cache = config.uop_cache
+            assert cache.n_sets * cache.ways * cache.uops_per_entry == kops * 1024
+
+    def test_table_ii_defaults(self):
+        config = SimConfig()
+        assert config.frontend.decode_width == 6
+        assert config.frontend.ftq_capacity == 192
+        assert config.backend.rob_entries == 512
+        assert config.backend.commit_width == 10
+        assert config.uop_cache.n_sets == 64
+        assert config.uop_cache.ways == 8
+        assert config.uop_cache.uops_per_entry == 8
+        assert config.btb.n_entries == 65536
+        assert config.btb.n_banks == 16
+        assert config.hierarchy.l1i.size_bytes == 32 * 1024
+        assert config.hierarchy.l1i.hit_latency == 4
+        assert config.hierarchy.l2.hit_latency == 10
+        assert config.hierarchy.llc.hit_latency == 40
+
+    def test_replace_is_isolated(self):
+        base = SimConfig()
+        modified = replace(base, ideal_uop_cache=True)
+        assert not base.ideal_uop_cache
+        assert modified.ideal_uop_cache
+
+
+class TestUCPConfig:
+    def test_disabled_by_default(self):
+        assert not SimConfig().ucp.enabled
+
+    def test_paper_defaults(self):
+        ucp = UCPConfig(enabled=True)
+        assert ucp.stop_threshold == 500
+        assert ucp.alt_ftq_entries == 24
+        assert ucp.mshr_entries == 32
+        assert ucp.alt_decode_entries == 32
+        assert ucp.alt_ras_entries == 16
+        assert ucp.confidence == "ucp"
+
+    def test_storage_budgets(self):
+        with_ind = UCPConfig(enabled=True).storage_kb
+        without = UCPConfig(enabled=True, use_indirect=False).storage_kb
+        assert with_ind - without == pytest.approx(4.0)
+
+
+class TestCodeMap:
+    def test_record_and_query(self):
+        codemap = CodeMap()
+        assert not codemap.known(0x1000)
+        assert codemap.branch_class(0x1000) is None
+        codemap.record(0x1000, int(BranchClass.COND_DIRECT))
+        assert codemap.known(0x1000)
+        assert codemap.branch_class(0x1000) is BranchClass.COND_DIRECT
+        assert len(codemap) == 1
+
+    def test_rerecord_overwrites(self):
+        codemap = CodeMap()
+        codemap.record(0x1000, int(BranchClass.NOT_BRANCH))
+        codemap.record(0x1000, int(BranchClass.RETURN))
+        assert codemap.branch_class(0x1000) is BranchClass.RETURN
+        assert len(codemap) == 1

@@ -1,0 +1,70 @@
+"""Tests for the frontend energy model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.energy import EnergyWeights, decode_overhead_pct, frontend_energy
+from repro.core import SimConfig, simulate
+from repro.core.configs import UCPConfig
+from repro.workloads import load_workload
+
+
+def results(name="int_03", n=8_000):
+    trace = load_workload(name, n).trace
+    base = simulate(trace, SimConfig())
+    no_uop = simulate(trace, SimConfig().without_uop_cache())
+    ucp = simulate(trace, replace(SimConfig(), ucp=UCPConfig(enabled=True)))
+    return base, no_uop, ucp
+
+
+class TestFrontendEnergy:
+    def test_components_non_negative(self):
+        base, _no_uop, _ucp = results()
+        report = frontend_energy(base)
+        assert report.total > 0
+        assert all(value >= 0 for value in report.components.values())
+
+    def test_uop_cache_saves_decode_energy(self):
+        """The µ-op cache's raison d'être (paper Section II)."""
+        base, no_uop, _ucp = results()
+        base_energy = frontend_energy(base)
+        no_uop_energy = frontend_energy(no_uop)
+        assert base_energy.components["decode"] < no_uop_energy.components["decode"]
+        # And total frontend energy drops with the µ-op cache.
+        assert base_energy.total < no_uop_energy.total
+
+    def test_ucp_adds_alt_decode_energy(self):
+        base, _no_uop, ucp = results()
+        assert frontend_energy(base).components["alt_decode"] == 0
+        assert frontend_energy(ucp).components["alt_decode"] > 0
+
+    def test_share_and_per_instruction(self):
+        base, _no_uop, _ucp = results()
+        report = frontend_energy(base)
+        assert 0 <= report.share("decode") <= 1
+        assert report.share("nonexistent") == 0
+        assert report.per_instruction(base.window_instructions) > 0
+        assert report.per_instruction(0) == 0
+
+    def test_custom_weights(self):
+        base, _no_uop, _ucp = results()
+        free_decode = frontend_energy(base, EnergyWeights(decode_per_instr=0.0))
+        assert free_decode.components["decode"] == 0
+
+
+class TestDecodeOverhead:
+    def test_ucp_decode_overhead_is_moderate(self):
+        """Paper Section VI-F: UCP increases decoded instructions ~25.5%."""
+        base, _no_uop, ucp = results("srv_04", 10_000)
+        overhead = decode_overhead_pct(ucp, base)
+        assert overhead > 0
+        # "Moderate": well below doubling the decode work.
+        assert overhead < 100.0
+
+    def test_zero_baseline_decode(self):
+        class NoDecode:
+            window = {"uops_decode": 0}
+
+        _base, _no_uop, ucp = results()
+        assert decode_overhead_pct(ucp, NoDecode()) == 0.0

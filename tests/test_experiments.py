@@ -1,0 +1,192 @@
+"""End-to-end tests of the experiment drivers at a tiny scale.
+
+These verify that every figure's driver runs, renders, and produces
+numbers with the qualitative shape the paper reports — at a scale small
+enough for CI.
+"""
+
+import pytest
+
+from repro.branch.tage_sc_l import Provider
+from repro.experiments import (
+    common,
+)
+from repro.experiments import (
+    fig02_uop_impact,
+    fig03_hitrate_switches,
+    fig04_size_sweep,
+    fig05_prefetchers,
+    fig06_conf_missrate,
+    fig07_contributions,
+    fig09_h2p,
+    fig10_ucp_vs_base,
+    fig11_speedup_mpki,
+    fig12_variants,
+    fig13_ucp_hitrate,
+    fig14_prefetch_accuracy,
+    fig15_threshold,
+    fig16_pareto,
+    taba_variants,
+)
+
+TINY = common.Scale("tiny", ("srv_04", "int_03", "crypto_02"), 8_000)
+
+
+class TestFig02:
+    def test_runs_and_sorted(self):
+        result = fig02_uop_impact.run(TINY)
+        values = [pct for _, pct in result.speedups]
+        assert values == sorted(values)
+        assert len(values) == 3
+        assert "Fig. 2" in fig02_uop_impact.render(result)
+
+
+class TestFig03:
+    def test_hit_rates_in_range(self):
+        result = fig03_hitrate_switches.run(TINY)
+        for _name, hit, pki in result.rows:
+            assert 0 <= hit <= 100
+            assert pki >= 0
+        assert result.mean_hit_rate > 0
+        assert "hit rate" in fig03_hitrate_switches.render(result)
+
+
+class TestFig04:
+    def test_hit_rate_grows_with_size(self):
+        result = fig04_size_sweep.run(TINY)
+        assert result.hit_rate_of("64Kops") >= result.hit_rate_of("4Kops")
+        # Ideal dominates every finite size.
+        assert result.ideal_speedup_pct >= result.speedup_of("64Kops") - 0.5
+        fig04_size_sweep.render(result)
+
+
+class TestFig05:
+    def test_subset_runs(self):
+        result = fig05_prefetchers.run(
+            TINY, prefetchers=(None, "fnl_mma"), kinds=("base", "ideal8")
+        )
+        assert result.speedups["none"]["base"] == pytest.approx(0.0, abs=1e-9)
+        assert result.speedups["fnl_mma"]["ideal8"] >= result.speedups["fnl_mma"]["base"] - 0.5
+        fig05_prefetchers.render(result)
+
+
+class TestFig06Fig07:
+    def test_component_rates(self):
+        result = fig06_conf_missrate.run(TINY)
+        assert result.rows, "no component data collected"
+        for _name, _bucket, n, rate in result.rows:
+            assert n > 0
+            assert 0 <= rate <= 100
+        fig06_conf_missrate.render(result)
+
+    def test_saturated_hitbank_reliable(self):
+        result = fig06_conf_missrate.run(TINY)
+        saturated = [
+            result.miss_rate(Provider.HITBANK, 3),
+            result.miss_rate(Provider.HITBANK, -4),
+        ]
+        weak = [
+            result.miss_rate(Provider.HITBANK, 0),
+            result.miss_rate(Provider.HITBANK, -1),
+        ]
+        saturated = [rate for rate in saturated if rate is not None]
+        weak = [rate for rate in weak if rate is not None]
+        if saturated and weak:
+            assert min(weak) >= max(saturated) - 5.0
+
+    def test_shares_sum_to_100(self):
+        result = fig07_contributions.run(TINY)
+        total = sum(share for _miss, share in result.shares.values())
+        assert total == pytest.approx(100.0, abs=0.5)
+        fig07_contributions.render(result)
+
+
+class TestFig09:
+    def test_ucp_conf_dominates(self):
+        result = fig09_h2p.run(TINY)
+        assert result.coverage("ucp") >= result.coverage("tage")
+        assert 0 < result.accuracy("ucp") <= 100
+        fig09_h2p.render(result)
+
+
+class TestFig10Fig11:
+    def test_fig10_fraction_benefiting(self):
+        result = fig10_ucp_vs_base.run(TINY)
+        assert result.ucp_fraction_benefiting >= result.base_fraction_benefiting - 0.34
+        fig10_ucp_vs_base.render(result)
+
+    def test_fig11_rows_sorted_by_speedup(self):
+        result = fig11_speedup_mpki.run(TINY)
+        speedups = [s for _, s, _ in result.rows]
+        assert speedups == sorted(speedups)
+        fig11_speedup_mpki.render(result)
+
+
+class TestFig12TabA:
+    def test_variants_present(self):
+        result = fig12_variants.run(TINY)
+        assert set(result.speedups) == {"UCP", "UCP-NoInd", "TAGE-Conf"}
+        fig12_variants.render(result)
+
+    def test_taba_variants_present(self):
+        result = taba_variants.run(TINY)
+        assert set(result.speedups) == {
+            "UCP",
+            "UCP-TillL1I",
+            "UCP-SharedDecoders",
+            "UCP-IdealBTBBanking",
+        }
+        taba_variants.render(result)
+
+
+class TestFig13Fig14:
+    def test_ucp_hit_rate_at_least_base(self):
+        result = fig13_ucp_hitrate.run(TINY)
+        assert result.mean_ucp_hit >= result.mean_base_hit - 0.5
+        fig13_ucp_hitrate.render(result)
+
+    def test_accuracy_in_range(self):
+        result = fig14_prefetch_accuracy.run(TINY)
+        for _name, accuracy, _n in result.rows:
+            assert 0 <= accuracy <= 100
+        fig14_prefetch_accuracy.render(result)
+
+
+class TestFig15:
+    def test_two_point_sweep(self):
+        result = fig15_threshold.run(TINY, thresholds=(16, 500))
+        assert len(result.ucp) == 2
+        assert len(result.till_l1i) == 2
+        assert result.best_threshold() in (16, 500)
+        fig15_threshold.render(result)
+
+
+class TestFig16:
+    def test_quick_pareto(self):
+        result = fig16_pareto.run(TINY, full=False)
+        labels = {point.label for point in result.points}
+        assert {"UCP", "UCP-NoIndirect", "TAGE-SC-Lx2"} <= labels
+        ucp = result.point("UCP")
+        assert ucp.storage_kb < 20
+        fig16_pareto.render(result)
+
+    def test_pareto_front_logic(self):
+        from repro.experiments.fig16_pareto import Fig16Result, ParetoPoint
+
+        result = Fig16Result(
+            [
+                ParetoPoint("cheap-good", 1.0, 2.0),
+                ParetoPoint("pricey-worse", 5.0, 1.0),
+                ParetoPoint("pricey-best", 5.0, 3.0),
+            ]
+        )
+        assert result.on_pareto_front("cheap-good")
+        assert not result.on_pareto_front("pricey-worse")
+        assert result.on_pareto_front("pricey-best")
+
+
+class TestSelection:
+    def test_select_workloads_nonempty(self):
+        selected = common.select_workloads(TINY)
+        assert selected
+        assert set(selected) <= set(TINY.workloads)

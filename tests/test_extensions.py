@@ -1,0 +1,232 @@
+"""Tests for the Section IV-G design-point extensions and the ablations."""
+
+from dataclasses import replace
+
+from repro.caches import UopCache, UopCacheConfig, UopCacheEntry
+from repro.core import SimConfig, simulate
+from repro.core.configs import UCPConfig
+from repro.experiments import ablations
+from repro.experiments.common import Scale
+from repro.workloads import load_workload
+
+TINY = Scale("tiny", ("int_03", "crypto_02"), 6_000)
+
+
+class TestInclusiveInvalidation:
+    def test_invalidate_line_removes_covered_entries(self):
+        cache = UopCache()
+        # Three entries: two inside line 0x1000-0x103F, one outside.
+        cache.insert(UopCacheEntry(0x1000, 4, 0x1010))
+        cache.insert(UopCacheEntry(0x1020, 4, 0x1030))
+        cache.insert(UopCacheEntry(0x1040, 4, 0x1050))
+        removed = cache.invalidate_line(0x1000)
+        assert removed == 2
+        assert not cache.probe(0x1000)
+        assert not cache.probe(0x1020)
+        assert cache.probe(0x1040)
+        assert cache.stats["inclusive_invalidations"] == 2
+
+    def test_invalidate_unaligned_address(self):
+        cache = UopCache()
+        cache.insert(UopCacheEntry(0x1020, 4, 0x1030))
+        # Mid-line address still clears the whole covering line.
+        assert cache.invalidate_line(0x103C) == 1
+
+    def test_invalidate_empty_line(self):
+        cache = UopCache()
+        assert cache.invalidate_line(0x9000) == 0
+        assert "inclusive_invalidations" not in cache.stats
+
+    def test_inclusive_config_invalidates_in_simulation(self):
+        from repro.caches.cache import CacheConfig
+        from repro.caches.hierarchy import HierarchyConfig
+
+        trace = load_workload("srv_02", 8_000).trace
+        config = SimConfig()
+        # Shrink the L1I so the workload actually evicts lines.
+        small_l1i = CacheConfig("L1I", size_bytes=4 * 1024, ways=8, hit_latency=4)
+        config = replace(
+            config,
+            uop_cache=replace(config.uop_cache, l1i_inclusive=True),
+            hierarchy=HierarchyConfig(l1i=small_l1i),
+        )
+        result = simulate(trace, config)
+        assert result.window.get("inclusive_invalidations", 0) > 0
+
+    def test_inclusive_never_beats_non_inclusive_hit_rate(self):
+        trace = load_workload("srv_02", 8_000).trace
+        base = simulate(trace, SimConfig())
+        config = replace(
+            SimConfig(), uop_cache=replace(SimConfig().uop_cache, l1i_inclusive=True)
+        )
+        inclusive = simulate(trace, config)
+        assert inclusive.uop_hit_rate <= base.uop_hit_rate + 1.0
+
+
+class TestStatefulDecode:
+    def _run(self, stateful):
+        trace = load_workload("srv_04", 8_000).trace
+        config = replace(
+            SimConfig(),
+            ucp=UCPConfig(enabled=True),
+            isa_stateful_decode=stateful,
+        )
+        return simulate(trace, config)
+
+    def test_both_modes_run_and_prefetch(self):
+        for stateful in (False, True):
+            result = self._run(stateful)
+            assert result.window.get("ucp_entries_prefetched", 0) > 0
+
+    def test_stateless_is_at_least_as_timely(self):
+        stateless = self._run(False)
+        stateful = self._run(True)
+        # Out-of-order line decode can only improve timeliness.
+        assert stateless.prefetch_accuracy >= stateful.prefetch_accuracy - 5.0
+
+
+class TestAblations:
+    def test_mode_switch_penalty_rows(self):
+        result = ablations.mode_switch_penalty(TINY, penalties=(0, 4))
+        assert len(result.rows) == 2
+        assert result.value("penalty=0") >= result.value("penalty=4") - 0.5
+        assert "switch penalty" in result.render()
+
+    def test_ftq_depth_reference_is_zero(self):
+        result = ablations.ftq_depth(TINY, depths=(32, 192))
+        assert abs(result.value("ftq=192")) < 1e-9
+
+    def test_walk_width_rows(self):
+        result = ablations.walk_width(TINY, widths=(2, 16))
+        assert {label for label, _ in result.rows} == {"walk=2/cycle", "walk=16/cycle"}
+
+    def test_isa_statefulness_rows(self):
+        result = ablations.isa_statefulness(TINY)
+        assert len(result.rows) == 2
+
+    def test_l1i_inclusivity_rows(self):
+        result = ablations.l1i_inclusivity(TINY)
+        assert result.value("non-inclusive (paper)") >= result.value("L1I-inclusive") - 0.5
+
+
+class TestPerceptron:
+    def test_learns_biased_branch(self):
+        import random
+
+        from repro.branch import HashedPerceptron
+
+        predictor = HashedPerceptron()
+        rng = random.Random(3)
+        misses = total = 0
+        for i in range(2500):
+            taken = rng.random() < 0.05
+            pred = predictor.predict(0x3000)
+            if i > 400:
+                total += 1
+                misses += pred.taken != taken
+            predictor.update(pred, taken)
+        assert misses / total < 0.12
+
+    def test_learns_pattern(self):
+        from repro.branch import HashedPerceptron
+
+        predictor = HashedPerceptron()
+        pattern = [True, False, True, True]
+        misses = 0
+        for i in range(3000):
+            taken = pattern[i % 4]
+            pred = predictor.predict(0x4000)
+            if i > 1000 and pred.taken != taken:
+                misses += 1
+            predictor.update(pred, taken)
+        assert misses < 60
+
+    def test_confidence_magnitude_grows_with_training(self):
+        from repro.branch import HashedPerceptron
+
+        predictor = HashedPerceptron()
+        early = predictor.predict(0x5000).magnitude
+        for _ in range(300):
+            pred = predictor.predict(0x5000)
+            predictor.update(pred, True)
+        late = predictor.predict(0x5000).magnitude
+        assert late > early
+
+    def test_h2p_flags_low_magnitude(self):
+        from repro.branch import HashedPerceptron, perceptron_is_h2p
+
+        predictor = HashedPerceptron()
+        assert perceptron_is_h2p(predictor.predict(0x6000))  # untrained
+        for _ in range(400):
+            pred = predictor.predict(0x6000)
+            predictor.update(pred, True)
+        assert not perceptron_is_h2p(predictor.predict(0x6000))
+
+    def test_weights_bounded(self):
+        from repro.branch import HashedPerceptron, PerceptronConfig
+
+        predictor = HashedPerceptron(PerceptronConfig(weight_bits=4))
+        for _ in range(500):
+            pred = predictor.predict(0x7000)
+            predictor.update(pred, True)
+        for table in predictor._tables:
+            assert all(-8 <= w <= 7 for w in table)
+
+    def test_ucp_perceptron_trigger_runs(self):
+        from dataclasses import replace
+
+        from repro.core import SimConfig, simulate
+        from repro.core.configs import UCPConfig
+
+        trace = load_workload("int_03", 5_000).trace
+        result = simulate(
+            trace,
+            replace(SimConfig(), ucp=UCPConfig(enabled=True, confidence="perceptron")),
+        )
+        assert result.window.get("ucp_h2p_triggers", 0) > 0
+
+    def test_unknown_confidence_rejected(self):
+        from dataclasses import replace
+
+        import pytest
+
+        from repro.core import SimConfig, Simulator
+        from repro.core.configs import UCPConfig
+
+        trace = load_workload("int_03", 1_000).trace
+        with pytest.raises(ValueError):
+            Simulator(
+                trace,
+                replace(SimConfig(), ucp=UCPConfig(enabled=True, confidence="bogus")),
+            )
+
+
+class TestClasp:
+    def test_clasp_entries_cross_regions(self):
+        from repro.caches import UopCacheConfig, UopEntryBuilder
+
+        builder = UopEntryBuilder(UopCacheConfig(clasp=True))
+        completed = []
+        # Start mid-region: without CLASP this would close at the boundary.
+        for i in range(8):
+            completed += builder.add(0x101C + 4 * i, False, False, 0x1020 + 4 * i)
+        assert len(completed) == 1
+        entry = completed[0]
+        assert entry.n_uops == 8
+        assert entry.start_pc // 32 != entry.end_pc // 32  # crosses regions
+
+    def test_clasp_raises_hit_rate(self):
+        from dataclasses import replace
+
+        from repro.core import SimConfig, simulate
+
+        trace = load_workload("srv_04", 8_000).trace
+        base = simulate(trace, SimConfig())
+        clasp_cfg = replace(
+            SimConfig(), uop_cache=replace(SimConfig().uop_cache, clasp=True)
+        )
+        relaxed = simulate(trace, clasp_cfg)
+        # Fragmentation relief usually raises the hit rate, but chain
+        # realignment makes the effect noisy at small trace scales; only
+        # assert CLASP is not catastrophically worse.
+        assert relaxed.uop_hit_rate >= base.uop_hit_rate - 5.0

@@ -1,0 +1,166 @@
+"""Tests for the FTQ, BPU, and fetch engine."""
+
+import pytest
+
+from repro.common.stats import StatBlock
+from repro.core.configs import SimConfig
+from repro.frontend.bpu import BPU
+from repro.frontend.ftq import FTQ, FetchBlock
+from repro.isa import BranchClass, Trace, TraceEntry
+
+
+class TestFTQ:
+    def test_push_pop(self):
+        ftq = FTQ(capacity=16)
+        ftq.push(FetchBlock(0, 8))
+        ftq.push(FetchBlock(8, 4))
+        assert ftq.occupancy == 12
+        assert len(ftq) == 2
+        block = ftq.pop()
+        assert block.start_index == 0
+        assert ftq.occupancy == 4
+
+    def test_capacity_enforced(self):
+        ftq = FTQ(capacity=8)
+        ftq.push(FetchBlock(0, 8))
+        assert not ftq.has_room(1)
+        with pytest.raises(OverflowError):
+            ftq.push(FetchBlock(8, 1))
+
+    def test_clear(self):
+        ftq = FTQ(capacity=16)
+        ftq.push(FetchBlock(0, 8))
+        ftq.clear()
+        assert ftq.occupancy == 0
+        assert not ftq
+
+    def test_head_without_pop(self):
+        ftq = FTQ()
+        assert ftq.head() is None
+        ftq.push(FetchBlock(0, 4))
+        assert ftq.head().start_index == 0
+        assert len(ftq) == 1
+
+    def test_block_end_index(self):
+        block = FetchBlock(10, 6, ends_taken=True)
+        assert block.end_index == 16
+
+
+def straight_line_trace(n=64):
+    return Trace.from_entries(
+        "straight", [TraceEntry(0x1000 + 4 * i) for i in range(n)]
+    )
+
+
+def loop_trace(iterations=8, body=6):
+    """A taken backward branch every `body` instructions."""
+    entries = []
+    for _ in range(iterations):
+        for i in range(body - 1):
+            entries.append(TraceEntry(0x1000 + 4 * i))
+        entries.append(
+            TraceEntry(0x1000 + 4 * (body - 1), BranchClass.COND_DIRECT, True, 0x1000)
+        )
+    return Trace.from_entries("loop", entries)
+
+
+class TestBPU:
+    def _bpu(self, trace):
+        config = SimConfig()
+        return BPU(config, trace, StatBlock())
+
+    def test_straight_line_blocks(self):
+        trace = straight_line_trace(32)
+        bpu = self._bpu(trace)
+        ftq = FTQ(192)
+        bpu.generate(ftq, cycle=0)
+        # 2 blocks of 8 per cycle.
+        assert ftq.occupancy == 16
+        first = ftq.pop()
+        assert first.start_index == 0
+        assert first.count == 8
+        assert not first.ends_taken
+        assert not first.mispredicted
+
+    def test_taken_branch_ends_block(self):
+        trace = loop_trace(iterations=10, body=6)
+        bpu = self._bpu(trace)
+        ftq = FTQ(192)
+        # Warm the predictor so the loop branch predicts taken; early
+        # instances may mispredict and stall.
+        for cycle in range(200):
+            bpu.generate(ftq, cycle)
+            if bpu.stalled_on is not None:
+                bpu.redirect(cycle)
+            while ftq:
+                ftq.pop()
+            if bpu.index >= len(trace):
+                break
+        assert bpu.index == len(trace)
+
+    def test_mispredict_stalls_generation(self):
+        # A branch that is never taken except the last time: the predictor
+        # will mispredict that final instance.
+        entries = []
+        for i in range(20):
+            entries.append(TraceEntry(0x1000 + 8 * i))
+            taken = i == 19
+            entries.append(
+                TraceEntry(
+                    0x1004 + 8 * i, BranchClass.COND_DIRECT, taken, 0x1000 if taken else 0
+                )
+            )
+        trace = Trace.from_entries("bias", entries)
+        bpu = self._bpu(trace)
+        ftq = FTQ(400)
+        stalled_seen = False
+        for cycle in range(400):
+            bpu.generate(ftq, cycle)
+            if bpu.stalled_on is not None:
+                stalled_seen = True
+                break
+        assert stalled_seen
+        index = bpu.stalled_on
+        assert trace.branch_classes[index] == BranchClass.COND_DIRECT
+        # Redirect resumes generation.
+        bpu.redirect(cycle)
+        assert bpu.stalled_on is None
+        assert bpu.resume_cycle == cycle + SimConfig().frontend.redirect_latency
+
+    def test_redirect_without_stall_raises(self):
+        bpu = self._bpu(straight_line_trace(8))
+        with pytest.raises(RuntimeError):
+            bpu.redirect(0)
+
+    def test_btb_learns_taken_branches(self):
+        trace = loop_trace(iterations=6, body=4)
+        bpu = self._bpu(trace)
+        ftq = FTQ(400)
+        for cycle in range(200):
+            bpu.generate(ftq, cycle)
+            if bpu.stalled_on is not None:
+                bpu.redirect(cycle)
+            while ftq:
+                ftq.pop()
+            if bpu.index >= len(trace):
+                break
+        branch_pc = 0x1000 + 4 * 3
+        assert bpu.btb.peek(branch_pc) is not None
+        assert bpu.btb.peek(branch_pc).target == 0x1000
+
+    def test_branch_hook_called(self):
+        trace = loop_trace(iterations=4, body=4)
+        bpu = self._bpu(trace)
+        events = []
+        bpu.branch_hook = lambda event, cycle: events.append(event)
+        ftq = FTQ(400)
+        for cycle in range(100):
+            bpu.generate(ftq, cycle)
+            if bpu.stalled_on is not None:
+                bpu.redirect(cycle)
+            while ftq:
+                ftq.pop()
+            if bpu.index >= len(trace):
+                break
+        assert len(events) == 4  # one per dynamic conditional
+        assert all(e.pc == 0x100C for e in events)

@@ -1,0 +1,138 @@
+"""Integration tests for the full cycle-level simulator."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import SimConfig, Simulator, simulate
+from repro.core.configs import UCPConfig
+from repro.workloads import load_workload
+
+
+def quick(name="int_02", n=8_000):
+    return load_workload(name, n).trace
+
+
+class TestBasicExecution:
+    def test_commits_everything(self):
+        trace = quick()
+        result = simulate(trace, SimConfig())
+        assert result.instructions == len(trace)
+        assert result.cycles > 0
+        assert 0.05 < result.ipc < 8.0
+
+    def test_deterministic(self):
+        trace = quick()
+        a = simulate(trace, SimConfig())
+        b = simulate(trace, SimConfig())
+        assert a.cycles == b.cycles
+        assert a.window == b.window
+
+    def test_window_metrics_populated(self):
+        result = simulate(quick(), SimConfig())
+        assert result.window_instructions > 0
+        assert result.window_cycles > 0
+        assert result.window.get("cond_branches", 0) > 0
+        assert 0 <= result.uop_hit_rate <= 100
+        assert result.cond_mpki >= 0
+
+    def test_confidence_stats_collected(self):
+        result = simulate(quick(), SimConfig())
+        assert result.confidence["ucp"].stats["predictions"] > 0
+        assert result.confidence["tage"].stats["predictions"] > 0
+
+
+class TestConfigurations:
+    def test_no_uop_cache_runs(self):
+        trace = quick()
+        result = simulate(trace, SimConfig().without_uop_cache())
+        assert result.window.get("uops_uop", 0) == 0
+        assert result.window.get("mode_switches", 0) == 0
+        assert result.window.get("uops_decode", 0) > 0
+
+    def test_ideal_uop_cache_dominates_baseline(self):
+        trace = quick()
+        base = simulate(trace, SimConfig())
+        ideal = simulate(trace, replace(SimConfig(), ideal_uop_cache=True))
+        assert ideal.ipc >= base.ipc * 0.999
+        assert ideal.uop_hit_rate > 99.0
+
+    def test_uop_cache_size_scaling_monotone_hit_rate(self):
+        trace = load_workload("srv_02", 10_000).trace
+        small = simulate(trace, SimConfig().with_uop_cache_kops(4))
+        large = simulate(trace, SimConfig().with_uop_cache_kops(64))
+        assert large.uop_hit_rate >= small.uop_hit_rate
+
+    def test_ideal_brcond_raises_hit_rate(self):
+        trace = load_workload("srv_02", 10_000).trace
+        base = simulate(trace, SimConfig())
+        ideal8 = simulate(trace, replace(SimConfig(), ideal_brcond_window=8))
+        assert ideal8.uop_hit_rate >= base.uop_hit_rate
+        assert ideal8.ipc >= base.ipc * 0.999
+
+    def test_l1i_hits_config_raises_hit_rate(self):
+        trace = load_workload("srv_02", 10_000).trace
+        base = simulate(trace, SimConfig())
+        l1i_hits = simulate(trace, replace(SimConfig(), l1i_hits_are_uop_hits=True))
+        assert l1i_hits.uop_hit_rate > base.uop_hit_rate
+
+    def test_mrc_runs_and_hits(self):
+        trace = load_workload("srv_02", 10_000).trace
+        result = simulate(trace, replace(SimConfig(), mrc_entries=256))
+        # MRC is probed on every resolved misprediction.
+        probes = result.window.get("mrc_hits", 0) + result.window.get("mrc_misses", 0)
+        assert probes > 0
+
+    def test_prefetcher_configs_run(self):
+        trace = load_workload("srv_02", 6_000).trace
+        for name in ("next_line", "fnl_mma", "djolt", "ep"):
+            result = simulate(trace, replace(SimConfig(), l1i_prefetcher=name))
+            assert result.ipc > 0
+
+    def test_unknown_prefetcher_rejected(self):
+        with pytest.raises(KeyError):
+            simulate(quick(n=1000), replace(SimConfig(), l1i_prefetcher="bogus"))
+
+
+class TestUCPIntegration:
+    def test_ucp_runs_and_prefetches(self):
+        trace = load_workload("srv_04", 12_000).trace
+        result = simulate(trace, replace(SimConfig(), ucp=UCPConfig(enabled=True)))
+        assert result.window.get("ucp_walks_started", 0) > 0
+        assert result.window.get("ucp_entries_generated", 0) > 0
+
+    def test_ucp_raises_hit_rate(self):
+        trace = load_workload("srv_04", 12_000).trace
+        base = simulate(trace, SimConfig())
+        ucp = simulate(trace, replace(SimConfig(), ucp=UCPConfig(enabled=True)))
+        assert ucp.uop_hit_rate >= base.uop_hit_rate
+
+    def test_ucp_till_l1i_does_not_fill_uop_cache(self):
+        trace = load_workload("srv_04", 12_000).trace
+        result = simulate(
+            trace, replace(SimConfig(), ucp=UCPConfig(enabled=True, till_l1i_only=True))
+        )
+        assert result.window.get("ucp_entries_prefetched", 0) == 0
+        assert result.window.get("ucp_l1i_prefetches", 0) > 0
+
+    def test_ucp_variants_all_run(self):
+        trace = load_workload("int_03", 8_000).trace
+        for overrides in (
+            {"use_indirect": False},
+            {"shared_decoders": True},
+            {"ideal_btb_banking": True},
+            {"confidence": "tage"},
+        ):
+            result = simulate(
+                trace, replace(SimConfig(), ucp=UCPConfig(enabled=True, **overrides))
+            )
+            assert result.ipc > 0
+
+
+class TestSafetyValve:
+    def test_progress_guard(self):
+        # A tiny trace must finish far below the safety valve.
+        trace = quick(n=2_000)
+        sim = Simulator(trace, SimConfig())
+        result = sim.run()
+        assert result.cycles < sim.MAX_CPI * len(trace)

@@ -1,0 +1,113 @@
+"""Tests for the region-organised BTB."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.branch import BTB, BTBConfig, RegionBTB, make_btb
+from repro.isa import BranchClass
+
+
+def region_btb(**overrides) -> RegionBTB:
+    return RegionBTB(BTBConfig(organization="region", **overrides))
+
+
+class TestFactory:
+    def test_selects_organization(self):
+        assert isinstance(make_btb(BTBConfig()), BTB)
+        assert isinstance(make_btb(BTBConfig(organization="region")), RegionBTB)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_btb(BTBConfig(organization="mystery"))
+
+
+class TestRegionBTB:
+    def test_branches_share_a_region_entry(self):
+        btb = region_btb()
+        btb.update(0x1004, BranchClass.COND_DIRECT, 0x2000)
+        btb.update(0x1010, BranchClass.UNCOND_DIRECT, 0x3000)
+        assert btb.lookup(0x1004).target == 0x2000
+        assert btb.lookup(0x1010).target == 0x3000
+        # Same region, un-recorded offset: miss.
+        assert btb.lookup(0x1008) is None
+
+    def test_update_refreshes_target(self):
+        btb = region_btb()
+        btb.update(0x1004, BranchClass.CALL_INDIRECT, 0x2000)
+        btb.update(0x1004, BranchClass.CALL_INDIRECT, 0x9000)
+        assert btb.peek(0x1004).target == 0x9000
+
+    def test_region_branch_capacity(self):
+        btb = region_btb(region_branches=2)
+        btb.update(0x1000, BranchClass.UNCOND_DIRECT, 0x1)
+        btb.update(0x1004, BranchClass.UNCOND_DIRECT, 0x2)
+        btb.update(0x1008, BranchClass.UNCOND_DIRECT, 0x3)  # evicts oldest
+        assert btb.peek(0x1000) is None
+        assert btb.peek(0x1004) is not None
+        assert btb.peek(0x1008) is not None
+
+    def test_region_lru_eviction(self):
+        btb = region_btb(n_entries=16, ways=2, region_branches=2)
+        stride = 64 * btb._n_sets  # regions mapping to the same set
+        regions = [0x10000 + i * stride for i in range(3)]
+        for base in regions:
+            btb.update(base, BranchClass.UNCOND_DIRECT, 0x1)
+        btb.lookup(regions[0])  # refresh region 0
+        btb.update(0x20000 + 0, BranchClass.UNCOND_DIRECT, 0x2)  # different set OK
+        btb.update(regions[0] + 4, BranchClass.UNCOND_DIRECT, 0x3)
+        # Region 1 was LRU when region 2 arrived.
+        assert btb.peek(regions[1]) is None
+
+    def test_bank_of_stable(self):
+        btb = region_btb()
+        for pc in range(0x1000, 0x1400, 4):
+            assert btb.bank_of(pc) == btb.bank_of(pc)
+            assert 0 <= btb.bank_of(pc, n_banks=32) < 32
+
+    def test_same_region_same_bank(self):
+        # The property that helps UCP: any two PCs in one region share the
+        # entry, hence the bank.
+        btb = region_btb()
+        assert btb.bank_of(0x1000) == btb.bank_of(0x103C)
+
+    def test_hit_rate_accounting(self):
+        btb = region_btb()
+        btb.update(0x1000, BranchClass.UNCOND_DIRECT, 0x2000)
+        btb.lookup(0x1000)
+        btb.lookup(0x5000)
+        assert btb.hit_rate == 0.5
+
+    @given(
+        updates=st.lists(
+            st.tuples(st.integers(0, 500), st.integers(0, 500)), max_size=60
+        )
+    )
+    def test_lookup_returns_latest_target(self, updates):
+        btb = region_btb(n_entries=1 << 14)
+        model = {}
+        for pc_slot, target_slot in updates:
+            pc = 0x1000 + 4 * pc_slot
+            target = 0x100000 + 4 * target_slot
+            btb.update(pc, BranchClass.UNCOND_DIRECT, target)
+            model[pc] = target
+        # With ample capacity nothing should be evicted within a region
+        # unless more than region_branches distinct offsets were written.
+        for pc, target in model.items():
+            entry = btb.peek(pc)
+            if entry is not None:
+                assert entry.target == target
+
+
+class TestRegionBTBInPipeline:
+    def test_full_simulation_runs(self):
+        from dataclasses import replace
+
+        from repro.core import SimConfig, simulate
+        from repro.workloads import load_workload
+
+        trace = load_workload("int_02", 6_000).trace
+        config = replace(SimConfig(), btb=BTBConfig(organization="region"))
+        result = simulate(trace, config)
+        assert result.ipc > 0
+        assert result.window.get("cond_branches", 0) > 0

@@ -1,0 +1,86 @@
+"""Tests for the text trace format."""
+
+import pytest
+
+from repro.isa import BranchClass, Trace, TraceEntry
+from repro.isa.textio import dump_text, load_text
+from repro.workloads import load_workload
+
+
+def sample_trace():
+    return Trace.from_entries(
+        "sample",
+        [
+            TraceEntry(0x1000),
+            TraceEntry(0x1004, BranchClass.CALL_DIRECT, True, 0x2000),
+            TraceEntry(0x2000),
+            TraceEntry(0x2004, BranchClass.RETURN, True, 0x1008),
+            TraceEntry(0x1008, BranchClass.COND_DIRECT, False, 0),
+            TraceEntry(0x100C),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.txt"
+        dump_text(trace, path)
+        loaded = load_text(path)
+        assert loaded.name == "sample"
+        assert len(loaded) == len(trace)
+        assert (loaded.pcs == trace.pcs).all()
+        assert (loaded.branch_classes == trace.branch_classes).all()
+        assert (loaded.takens == trace.takens).all()
+        assert (loaded.targets == trace.targets).all()
+
+    def test_generated_workload_roundtrip(self, tmp_path):
+        trace = load_workload("fp_01", 1_500).trace
+        path = tmp_path / "fp.txt"
+        dump_text(trace, path)
+        loaded = load_text(path)
+        loaded.validate()
+        assert (loaded.next_pcs == trace.next_pcs).all()
+
+    def test_name_override(self, tmp_path):
+        path = tmp_path / "t.txt"
+        dump_text(sample_trace(), path)
+        assert load_text(path, name="renamed").name == "renamed"
+
+    def test_name_falls_back_to_stem(self, tmp_path):
+        path = tmp_path / "stemname.txt"
+        path.write_text("0x1000 NOT_BRANCH 0 0x0\n")
+        assert load_text(path).name == "stemname"
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text(
+            "# a comment\n\n0x1000 NOT_BRANCH 0 0x0\n\n# another\n0x1004 NOT_BRANCH 0 0x0\n"
+        )
+        assert len(load_text(path)) == 2
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0x1000 NOT_BRANCH 0\n")
+        with pytest.raises(ValueError, match="expected 4 fields"):
+            load_text(path)
+
+    def test_bad_branch_class(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0x1000 BOGUS 0 0x0\n")
+        with pytest.raises(ValueError):
+            load_text(path)
+
+    def test_bad_pc(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("zzz NOT_BRANCH 0 0x0\n")
+        with pytest.raises(ValueError):
+            load_text(path)
+
+    def test_decimal_addresses_accepted(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("4096 NOT_BRANCH 0 0\n")
+        trace = load_text(path)
+        assert int(trace.pcs[0]) == 4096

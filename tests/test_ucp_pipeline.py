@@ -1,0 +1,184 @@
+"""White-box tests of the UCP prefetch pipeline stages."""
+
+from dataclasses import replace
+
+from repro.caches.uopcache import UopCacheEntry
+from repro.core import SimConfig, Simulator
+from repro.core.configs import UCPConfig
+from repro.core.ucp import PendingEntry
+from repro.workloads import load_workload
+
+
+def make_sim(**ucp_overrides) -> Simulator:
+    trace = load_workload("int_03", 4_000).trace
+    config = replace(SimConfig(), ucp=UCPConfig(enabled=True, **ucp_overrides))
+    return Simulator(trace, config)
+
+
+def pending(pc=0x5000, trigger=0) -> PendingEntry:
+    return PendingEntry(UopCacheEntry(pc, 4, pc + 16, from_prefetch=True), trigger, pc // 64)
+
+
+class TestTagCheckStage:
+    def test_bank_conflict_delays(self):
+        sim = make_sim()
+        engine = sim.ucp
+        entry = pending()
+        engine.alt_ftq.append(entry)
+        bank = sim.uop_cache.bank_of(entry.entry.start_pc)
+        sim.fetch.uop_banks_used.add(bank)
+        engine._tick_tag_check(cycle=0)
+        assert entry.delay == 1
+        assert sim.stats["ucp_tagcheck_conflicts"] == 1
+        assert engine.alt_ftq  # still queued
+
+    def test_conflict_saturation_lets_alt_win(self):
+        sim = make_sim()
+        engine = sim.ucp
+        entry = pending()
+        entry.delay = 7  # saturated 3-bit counter
+        engine.alt_ftq.append(entry)
+        sim.fetch.uop_banks_used.add(sim.uop_cache.bank_of(entry.entry.start_pc))
+        engine._tick_tag_check(cycle=0)
+        assert not engine.alt_ftq  # proceeded despite the conflict
+
+    def test_present_entries_filtered(self):
+        sim = make_sim()
+        engine = sim.ucp
+        entry = pending()
+        sim.uop_cache.insert(UopCacheEntry(entry.entry.start_pc, 4, 0))
+        engine.alt_ftq.append(entry)
+        engine._tick_tag_check(cycle=0)
+        assert sim.stats["ucp_filtered_present"] == 1
+        assert not engine.mshr
+
+    def test_mshr_backpressure(self):
+        sim = make_sim(mshr_entries=1)
+        engine = sim.ucp
+        engine.mshr.append(pending(0x9000))
+        entry = pending()
+        engine.alt_ftq.append(entry)
+        engine._tick_tag_check(cycle=0)
+        assert sim.stats["ucp_mshr_full"] == 1
+        assert engine.alt_ftq[0] is entry  # retried later
+
+    def test_till_l1i_skips_decode_path(self):
+        sim = make_sim(till_l1i_only=True)
+        engine = sim.ucp
+        engine.alt_ftq.append(pending())
+        engine._tick_tag_check(cycle=0)
+        assert sim.stats["ucp_l1i_prefetches"] == 1
+        assert not engine.mshr
+        assert not engine.decode_queue
+
+    def test_l1i_resident_line_ready_quickly(self):
+        sim = make_sim()
+        engine = sim.ucp
+        entry = pending()
+        sim.hierarchy.l1i.allocate(entry.entry.start_pc)
+        engine.alt_ftq.append(entry)
+        engine._tick_tag_check(cycle=10)
+        assert entry in engine.decode_queue
+        assert entry.ready_cycle == 10 + sim.hierarchy.config.l1i.hit_latency
+
+
+class TestDecodeStage:
+    def test_decode_inserts_entry(self):
+        sim = make_sim()
+        engine = sim.ucp
+        entry = pending()
+        entry.ready_cycle = 0
+        engine.decode_queue.append(entry)
+        engine._tick_decode(cycle=5)
+        assert sim.uop_cache.probe(entry.entry.start_pc)
+        assert sim.stats["ucp_entries_prefetched"] == 1
+
+    def test_decode_width_bounds_throughput(self):
+        sim = make_sim(alt_decode_width=6)
+        engine = sim.ucp
+        entries = [pending(0x5000 + 64 * i) for i in range(3)]
+        for entry in entries:
+            entry.ready_cycle = 0
+            engine.decode_queue.append(entry)
+        engine._tick_decode(cycle=1)
+        # 6 µ-op budget: one full 4-µop entry plus part of the next.
+        assert sim.stats["ucp_entries_prefetched"] == 1
+        engine._tick_decode(cycle=2)
+        assert sim.stats["ucp_entries_prefetched"] >= 2
+
+    def test_shared_decoders_yield_to_demand(self):
+        sim = make_sim(shared_decoders=True)
+        engine = sim.ucp
+        entry = pending()
+        entry.ready_cycle = 0
+        engine.decode_queue.append(entry)
+        sim.fetch.decoders_busy_this_cycle = True
+        engine._tick_decode(cycle=1)
+        assert sim.stats["ucp_entries_prefetched"] == 0
+        sim.fetch.decoders_busy_this_cycle = False
+        engine._tick_decode(cycle=2)
+        assert sim.stats["ucp_entries_prefetched"] == 1
+
+    def test_unready_line_blocks_stateful_decode(self):
+        sim = make_sim()
+        sim.config = replace(sim.config, isa_stateful_decode=True)
+        sim.ucp.config = sim.config
+        engine = sim.ucp
+        late = pending(0x5000)
+        late.ready_cycle = 100
+        ready = pending(0x6000)
+        ready.ready_cycle = 0
+        engine.decode_queue.append(late)
+        engine.decode_queue.append(ready)
+        engine._tick_decode(cycle=5)
+        # Head-of-line blocking: the ready younger entry must wait.
+        assert sim.stats["ucp_entries_prefetched"] == 0
+
+    def test_unready_line_skipped_in_stateless_decode(self):
+        sim = make_sim()
+        engine = sim.ucp
+        late = pending(0x5000)
+        late.ready_cycle = 100
+        ready = pending(0x6000)
+        ready.ready_cycle = 0
+        engine.decode_queue.append(late)
+        engine.decode_queue.append(ready)
+        engine._tick_decode(cycle=5)
+        assert sim.stats["ucp_entries_prefetched"] == 1
+
+    def test_decode_queue_capacity_drops(self):
+        sim = make_sim(alt_decode_entries=1)
+        engine = sim.ucp
+        engine.decode_queue.append(pending(0x7000))
+        overflow = pending(0x8000)
+        engine.mshr.append(overflow)
+        engine._to_decode(overflow)
+        assert sim.stats["ucp_decode_queue_drops"] == 1
+        assert overflow not in engine.mshr
+
+
+class TestWalkStops:
+    def test_unknown_code_stops(self):
+        sim = make_sim()
+        engine = sim.ucp
+        engine.active = True
+        engine._walk_pc = 0xDEAD000  # never recorded in the codemap
+        engine._tick_walk(cycle=0)
+        assert not engine.active
+        assert sim.stats["ucp_stop_unknown_code"] == 1
+
+    def test_no_branch_guard(self):
+        sim = make_sim(max_instructions_without_branch=4)
+        engine = sim.ucp
+        # Teach the codemap a long straight-line run.
+        for i in range(64):
+            sim.codemap.record(0x40000 + 4 * i, 0)
+        engine.active = True
+        engine.trigger_index = 0
+        engine._walk_pc = 0x40000
+        for cycle in range(16):
+            if not engine.active:
+                break
+            engine._tick_walk(cycle)
+        assert not engine.active
+        assert sim.stats["ucp_stop_no_branch_guard"] == 1

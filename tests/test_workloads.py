@@ -1,0 +1,309 @@
+"""Tests for the synthetic workload generator and suite."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import BranchClass
+from repro.workloads import (
+    SUITE,
+    Bernoulli,
+    BasicBlock,
+    Function,
+    GlobalCorrelated,
+    LoopTrip,
+    Pattern,
+    Program,
+    ProgramGenerator,
+    TerminatorKind,
+    WorkloadConfig,
+    generate_trace,
+    load_suite,
+    load_workload,
+)
+
+
+class TestBehaviors:
+    def test_bernoulli_extremes(self):
+        rng = random.Random(0)
+        always = Bernoulli(1.0)
+        never = Bernoulli(0.0)
+        assert all(always.next_outcome(rng, 0) for _ in range(20))
+        assert not any(never.next_outcome(rng, 0) for _ in range(20))
+
+    def test_bernoulli_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+
+    def test_pattern_repeats(self):
+        rng = random.Random(0)
+        pattern = Pattern([True, False, False])
+        outcomes = [pattern.next_outcome(rng, 0) for _ in range(6)]
+        assert outcomes == [True, False, False, True, False, False]
+
+    def test_pattern_reset(self):
+        rng = random.Random(0)
+        pattern = Pattern([True, False])
+        pattern.next_outcome(rng, 0)
+        pattern.reset()
+        assert pattern.next_outcome(rng, 0) is True
+
+    def test_loop_trip_fixed(self):
+        rng = random.Random(0)
+        loop = LoopTrip(4, 4)
+        # Taken trip-1 times then not taken, repeatedly.
+        for _ in range(3):
+            outcomes = [loop.next_outcome(rng, 0) for _ in range(4)]
+            assert outcomes == [True, True, True, False]
+
+    def test_loop_trip_variable_in_range(self):
+        rng = random.Random(7)
+        loop = LoopTrip(2, 6)
+        for _ in range(50):
+            count = 0
+            while loop.next_outcome(rng, 0):
+                count += 1
+                assert count < 6, "loop exceeded max trip"
+            assert 1 <= count + 1 <= 6
+
+    def test_loop_trip_invalid(self):
+        with pytest.raises(ValueError):
+            LoopTrip(0)
+        with pytest.raises(ValueError):
+            LoopTrip(5, 3)
+
+    def test_correlated_pure_parity(self):
+        rng = random.Random(0)
+        behavior = GlobalCorrelated(taps=[0, 2], noise=0.0)
+        assert behavior.next_outcome(rng, 0b101) is False  # 1 ^ 1
+        assert behavior.next_outcome(rng, 0b001) is True  # 1 ^ 0
+
+    def test_correlated_invalid(self):
+        with pytest.raises(ValueError):
+            GlobalCorrelated([])
+        with pytest.raises(ValueError):
+            GlobalCorrelated([1], noise=0.9)
+
+
+class TestBasicBlockValidation:
+    def test_cond_requires_behavior(self):
+        with pytest.raises(ValueError):
+            BasicBlock(4, TerminatorKind.COND, taken_block=1)
+
+    def test_jump_requires_target(self):
+        with pytest.raises(ValueError):
+            BasicBlock(4, TerminatorKind.JUMP)
+
+    def test_call_requires_callee(self):
+        with pytest.raises(ValueError):
+            BasicBlock(4, TerminatorKind.CALL)
+
+    def test_indirect_requires_targets(self):
+        with pytest.raises(ValueError):
+            BasicBlock(4, TerminatorKind.INDIRECT)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            BasicBlock(0)
+
+
+class TestProgramValidation:
+    def _entry_function(self):
+        return Function(
+            [
+                BasicBlock(4, TerminatorKind.CALL, callees=[1]),
+                BasicBlock(2, TerminatorKind.JUMP, taken_block=0),
+            ],
+            base_pc=0x1000,
+        )
+
+    def _leaf_function(self, base_pc=0x2000):
+        return Function(
+            [
+                BasicBlock(4, TerminatorKind.FALLTHROUGH),
+                BasicBlock(2, TerminatorKind.RETURN),
+            ],
+            base_pc=base_pc,
+        )
+
+    def test_valid_program(self):
+        program = Program([self._entry_function(), self._leaf_function()])
+        assert program.static_instructions == 12
+
+    def test_rejects_recursive_call(self):
+        bad_leaf = Function(
+            [
+                BasicBlock(4, TerminatorKind.CALL, callees=[1]),  # self-call
+                BasicBlock(2, TerminatorKind.RETURN),
+            ],
+            base_pc=0x2000,
+        )
+        with pytest.raises(ValueError, match="DAG"):
+            Program([self._entry_function(), bad_leaf])
+
+    def test_rejects_non_returning_function(self):
+        bad_leaf = Function(
+            [BasicBlock(4, TerminatorKind.JUMP, taken_block=0)], base_pc=0x2000
+        )
+        with pytest.raises(ValueError, match="RETURN"):
+            Program([self._entry_function(), bad_leaf])
+
+    def test_rejects_entry_ending_in_return(self):
+        entry = Function([BasicBlock(4, TerminatorKind.RETURN)], base_pc=0x1000)
+        with pytest.raises(ValueError, match="loop back"):
+            Program([entry, self._leaf_function()])
+
+    def test_rejects_out_of_range_successor(self):
+        entry = Function(
+            [
+                BasicBlock(
+                    4, TerminatorKind.COND, taken_block=9, behavior=Bernoulli(0.5)
+                ),
+                BasicBlock(2, TerminatorKind.JUMP, taken_block=0),
+            ],
+            base_pc=0x1000,
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            Program([entry, self._leaf_function()])
+
+    def test_rejects_final_fallthrough(self):
+        with pytest.raises(ValueError, match="fall through"):
+            Program(
+                [
+                    Function(
+                        [BasicBlock(4, TerminatorKind.FALLTHROUGH)], base_pc=0x1000
+                    ),
+                    self._leaf_function(),
+                ]
+            )
+
+
+class TestWalk:
+    def test_walk_emits_requested_length(self):
+        config = WorkloadConfig(name="tiny", seed=3, n_functions=6, n_instructions=5_000)
+        trace = generate_trace(config)
+        assert len(trace) == 5_000
+
+    def test_walk_is_deterministic(self):
+        config = WorkloadConfig(name="det", seed=11, n_functions=8, n_instructions=3_000)
+        a = generate_trace(config)
+        b = generate_trace(config)
+        assert (a.pcs == b.pcs).all()
+        assert (a.takens == b.takens).all()
+
+    def test_different_seeds_differ(self):
+        base = WorkloadConfig(name="s", seed=1, n_functions=8, n_instructions=3_000)
+        other = WorkloadConfig(name="s", seed=2, n_functions=8, n_instructions=3_000)
+        a, b = generate_trace(base), generate_trace(other)
+        assert not (a.pcs == b.pcs).all()
+
+    def test_trace_control_flow_consistent(self):
+        # generate_trace already validates; exercise a few extra seeds.
+        for seed in range(5):
+            config = WorkloadConfig(
+                name=f"cfg{seed}", seed=seed, n_functions=10, n_instructions=4_000
+            )
+            generate_trace(config).validate()
+
+    def test_returns_match_calls(self):
+        config = WorkloadConfig(name="calls", seed=5, n_functions=12, n_instructions=8_000)
+        trace = generate_trace(config)
+        depth = 0
+        for entry in trace:
+            if entry.branch_class.is_call:
+                depth += 1
+            elif entry.branch_class.is_return:
+                depth -= 1
+            assert depth >= 0, "return without matching call"
+
+    def test_return_targets_are_call_fallthroughs(self):
+        config = WorkloadConfig(name="rt", seed=6, n_functions=10, n_instructions=6_000)
+        trace = generate_trace(config)
+        stack = []
+        for entry in trace:
+            if entry.branch_class.is_call:
+                stack.append(entry.fallthrough)
+            elif entry.branch_class.is_return:
+                assert entry.target == stack.pop()
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 10_000))
+    def test_any_seed_walks_cleanly(self, seed):
+        config = WorkloadConfig(name="fuzz", seed=seed, n_functions=6, n_instructions=1_500)
+        trace = generate_trace(config)
+        trace.validate()
+        assert len(trace) == 1_500
+
+
+class TestFootprintControl:
+    def test_more_functions_more_static_code(self):
+        small = ProgramGenerator(WorkloadConfig(seed=1, n_functions=8)).build()
+        large = ProgramGenerator(WorkloadConfig(seed=1, n_functions=80)).build()
+        assert large.static_instructions > 4 * small.static_instructions
+
+    def test_scaled_footprint_helper(self):
+        config = WorkloadConfig(n_functions=40)
+        assert config.scaled_footprint(2.0).n_functions == 80
+        assert config.scaled_footprint(0.01).n_functions == 2
+
+    def test_dynamic_coverage_scales(self):
+        small = generate_trace(
+            WorkloadConfig(name="s", seed=9, n_functions=8, n_instructions=20_000)
+        )
+        large = generate_trace(
+            WorkloadConfig(name="l", seed=9, n_functions=160, n_instructions=20_000)
+        )
+        assert large.stats().static_instructions > 3 * small.stats().static_instructions
+
+
+class TestSuite:
+    def test_suite_has_categories(self):
+        names = set(SUITE)
+        assert any(name.startswith("srv") for name in names)
+        assert any(name.startswith("int") for name in names)
+        assert any(name.startswith("crypto") for name in names)
+        assert any(name.startswith("fp") for name in names)
+        assert len(names) >= 12
+
+    def test_load_workload_caches(self):
+        a = load_workload("crypto_01", 2_000)
+        b = load_workload("crypto_01", 2_000)
+        assert a.trace is b.trace  # same cached object
+
+    def test_load_workload_unknown(self):
+        with pytest.raises(KeyError):
+            load_workload("nope")
+
+    def test_load_suite_subset(self):
+        specs = load_suite(["fp_01", "int_01"], n_instructions=2_000)
+        assert [spec.name for spec in specs] == ["fp_01", "int_01"]
+        assert all(len(spec.trace) == 2_000 for spec in specs)
+
+    def test_srv_bigger_than_crypto(self):
+        srv = load_workload("srv_02", 20_000).trace.stats()
+        crypto = load_workload("crypto_01", 20_000).trace.stats()
+        assert srv.static_instructions > 5 * crypto.static_instructions
+
+
+class TestCategories:
+    def test_every_workload_categorised(self):
+        from repro.workloads.suite import CATEGORIES, SUITE
+
+        categorised = {name for names in CATEGORIES.values() for name in names}
+        assert categorised == set(SUITE)
+
+    def test_categories_disjoint(self):
+        from repro.workloads.suite import CATEGORIES
+
+        seen = set()
+        for names in CATEGORIES.values():
+            assert not (seen & set(names))
+            seen |= set(names)
+
+    def test_extended_categories_present(self):
+        from repro.workloads.suite import CATEGORIES
+
+        for prefix in ("web", "db", "mix"):
+            assert CATEGORIES[prefix], prefix
