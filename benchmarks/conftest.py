@@ -3,14 +3,20 @@
 Each benchmark regenerates one paper table/figure at the QUICK scale,
 prints the rendered table, saves it under ``benchmarks/out/``, and asserts
 the qualitative shape the paper reports.  Simulation results are shared
-across benchmarks through the disk cache in ``.simcache/``.
+across benchmarks through the disk cache in ``.simcache/`` (relocatable
+via ``REPRO_SIM_CACHE_DIR``), and every figure's simulations route
+through the parallel execution engine — set ``REPRO_SIM_JOBS`` to fan
+uncached runs out across worker processes (results are bit-identical to
+the serial path; see ``docs/EXPERIMENT_ENGINE.md``).
 
 Run with::
 
     pytest benchmarks/ --benchmark-only
+    REPRO_SIM_JOBS=8 pytest benchmarks/ --benchmark-only   # parallel sims
 
 For the full-scale reproduction (all 16 workloads, 40K instructions), set
-``REPRO_BENCH_SCALE=full`` — expect a long runtime on first execution.
+``REPRO_BENCH_SCALE=full`` — expect a long runtime on first (uncached)
+execution; ``REPRO_SIM_JOBS`` cuts that roughly by the core count.
 """
 
 from __future__ import annotations

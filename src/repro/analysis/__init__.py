@@ -2,7 +2,11 @@
 
 * :mod:`repro.analysis.runner` — memoised (in-process + on-disk) execution
   of (workload, config) simulation pairs, so experiments and benchmarks
-  sharing baselines never re-simulate them.
+  sharing baselines never re-simulate them.  Disk entries are checksummed
+  and written atomically.
+* :mod:`repro.analysis.parallel` — the parallel experiment engine:
+  schedules deduplicated pending jobs across worker processes and merges
+  results back into the caches, bit-identical to the serial path.
 * :mod:`repro.analysis.tables` — plain-text rendering of the tables and
   figure series the experiment drivers produce.
 * :mod:`repro.analysis.plot` — terminal bar charts / sparklines / series
@@ -16,13 +20,35 @@
 from repro.analysis.energy import EnergyWeights, decode_overhead_pct, frontend_energy
 from repro.analysis.plot import bar_chart, series_plot, sparkline
 from repro.analysis.replication import ReplicationResult, replicate_speedup
-from repro.analysis.runner import clear_disk_cache, run_cached, run_suite
+from repro.analysis.runner import (
+    cache_stats,
+    clear_disk_cache,
+    clear_memory_cache,
+    run_cached,
+    run_suite,
+    verify_disk_cache,
+)
+from repro.analysis.parallel import (
+    EngineStats,
+    ParallelExecutionError,
+    ParallelRunner,
+    SimJob,
+    run_jobs,
+)
 from repro.analysis.tables import format_series, format_table
 
 __all__ = [
     "run_cached",
     "run_suite",
+    "run_jobs",
     "clear_disk_cache",
+    "clear_memory_cache",
+    "cache_stats",
+    "verify_disk_cache",
+    "ParallelRunner",
+    "ParallelExecutionError",
+    "SimJob",
+    "EngineStats",
     "format_table",
     "format_series",
     "frontend_energy",

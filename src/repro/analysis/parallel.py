@@ -1,0 +1,346 @@
+"""Parallel experiment execution engine.
+
+Every figure reproduction fans out dozens of independent
+``(workload, config, n_instructions)`` simulations.  :class:`ParallelRunner`
+schedules the deduplicated set of *pending* jobs (those not already in the
+in-memory or on-disk cache) across a :class:`concurrent.futures.
+ProcessPoolExecutor` and merges worker results back into both cache
+layers, so the parallel path is bit-identical to running
+:func:`repro.analysis.runner.run_cached` serially — same seeds, same
+stats — just faster on multi-core machines.
+
+Worker count resolution order:
+
+1. explicit ``jobs=`` argument;
+2. the ``REPRO_SIM_JOBS`` environment variable;
+3. ``os.cpu_count()``.
+
+``jobs=1`` (or a single pending job, or a platform without usable
+``multiprocessing`` start methods) falls back to a serial in-process loop
+— no pool, no pickling, identical results.
+
+Example
+-------
+>>> from repro.analysis.parallel import ParallelRunner, SimJob
+>>> runner = ParallelRunner(jobs=4)
+>>> results = runner.run([SimJob("fp_01", SimConfig(), 20_000)])
+>>> runner.stats.counters["jobs_simulated"]
+1
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.analysis import runner as _runner
+from repro.common.stats import StatBlock, TimingSummary
+from repro.core.configs import SimConfig
+from repro.core.pipeline import SimResult, simulate
+from repro.workloads.suite import load_workload
+
+__all__ = [
+    "SimJob",
+    "EngineStats",
+    "ParallelExecutionError",
+    "ParallelRunner",
+    "resolve_job_count",
+    "run_jobs",
+]
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One unit of work: simulate ``workload`` under ``config``."""
+
+    workload: str
+    config: SimConfig
+    n_instructions: int = 40_000
+
+    @property
+    def key(self) -> str:
+        return _runner.cache_key(self.workload, self.n_instructions, self.config)
+
+    def describe(self) -> str:
+        return f"{self.workload}@{self.n_instructions}"
+
+
+@dataclass
+class JobTiming:
+    """Wall-clock timing of one executed (non-cache-hit) job."""
+
+    job: SimJob
+    seconds: float
+
+
+class EngineStats:
+    """Per-run counters plus job timing / throughput accounting.
+
+    ``counters`` is a :class:`repro.common.stats.StatBlock` with:
+
+    * ``jobs_requested`` — jobs passed to :meth:`ParallelRunner.run`;
+    * ``jobs_deduped`` — duplicates folded by single-flight keying;
+    * ``jobs_from_memory`` / ``jobs_from_disk`` — cache hits;
+    * ``jobs_simulated`` — jobs actually executed this run;
+    * ``jobs_failed`` — jobs whose worker raised.
+    """
+
+    def __init__(self) -> None:
+        self.counters = StatBlock("parallel_engine")
+        self.timings: list[JobTiming] = []
+        self.wall_seconds: float = 0.0
+
+    def timing_summary(self) -> TimingSummary:
+        return TimingSummary.from_samples(t.seconds for t in self.timings)
+
+    @property
+    def throughput(self) -> float:
+        """Simulated jobs per wall-clock second (0.0 when nothing ran)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.counters["jobs_simulated"] / self.wall_seconds
+
+    def render(self) -> str:
+        summary = self.timing_summary()
+        c = self.counters
+        return (
+            f"jobs: {c['jobs_requested']} requested, "
+            f"{c['jobs_deduped']} deduped, "
+            f"{c['jobs_from_memory'] + c['jobs_from_disk']} cached, "
+            f"{c['jobs_simulated']} simulated, {c['jobs_failed']} failed | "
+            f"wall {self.wall_seconds:.2f}s, "
+            f"{self.throughput:.2f} jobs/s, "
+            f"per-job mean {summary.mean:.2f}s p95 {summary.p95:.2f}s"
+        )
+
+
+class ParallelExecutionError(RuntimeError):
+    """One or more workers failed; successful results are already cached."""
+
+    def __init__(self, failures: list[tuple[SimJob, BaseException]]) -> None:
+        self.failures = failures
+        detail = "; ".join(
+            f"{job.describe()}: {type(error).__name__}: {error}"
+            for job, error in failures
+        )
+        super().__init__(f"{len(failures)} simulation job(s) failed: {detail}")
+
+
+def resolve_job_count(jobs: int | None = None) -> int:
+    """Worker count: explicit arg > ``REPRO_SIM_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get("REPRO_SIM_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext | None:
+    """Pick a start method, preferring fork (cheap, inherits warm state)."""
+    methods = multiprocessing.get_all_start_methods()
+    for method in ("fork", "spawn", "forkserver"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return None
+
+
+def _worker_init(parent_pid: int) -> None:
+    """Worker-process initializer: exit if the parent dies.
+
+    A SIGKILLed parent cannot shut the pool down, and every worker holds
+    the call-queue pipe open, so idle workers would otherwise block on it
+    forever.  A watchdog thread notices the re-parenting and exits; the
+    atomic cache writes make dying mid-job harmless.
+    """
+
+    def watch() -> None:
+        while os.getppid() == parent_pid:
+            time.sleep(1.0)
+        os._exit(0)
+
+    threading.Thread(target=watch, daemon=True).start()
+
+
+def _execute_job(workload: str, config: SimConfig, n_instructions: int):
+    """Worker entry point: simulate one job and persist it to disk.
+
+    Runs in the worker process.  The worker writes the entry itself
+    (atomically) so completed work survives even if the parent dies before
+    merging, and returns ``(result, seconds)`` for the parent's caches and
+    timing stats.
+    """
+    start = time.perf_counter()
+    result = _runner._load_disk(_runner.cache_key(workload, n_instructions, config))
+    if result is None:
+        spec = load_workload(workload, n_instructions)
+        result = simulate(spec.trace, config, name=workload)
+        _runner._store_disk(
+            _runner.cache_key(workload, n_instructions, config), result
+        )
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping for one :meth:`ParallelRunner.run` call."""
+
+    total: int
+    done: int = 0
+    results: dict[str, SimResult] = field(default_factory=dict)
+    failures: list[tuple[SimJob, BaseException]] = field(default_factory=list)
+
+
+class ParallelRunner:
+    """Schedules deduplicated simulation jobs across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``None`` resolves via :func:`resolve_job_count`.
+    progress:
+        Optional callback ``progress(done, total, job)`` invoked in the
+        parent process as each job resolves (from cache or from a worker).
+    """
+
+    def __init__(self, jobs: int | None = None, progress=None) -> None:
+        self.jobs = resolve_job_count(jobs)
+        self.progress = progress
+        self.stats = EngineStats()
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, jobs: list[SimJob]) -> dict[str, SimResult]:
+        """Resolve every job, returning ``{cache_key: SimResult}``.
+
+        Cache hits are returned directly; the remaining unique jobs are
+        simulated (in parallel when ``self.jobs > 1``) and merged into the
+        in-memory and on-disk caches.  If any worker fails, the successes
+        are still cached and a :class:`ParallelExecutionError` is raised.
+        """
+        start = time.perf_counter()
+        self.stats.counters.add("jobs_requested", len(jobs))
+
+        # Single-flight dedup: two figures requesting the same key in one
+        # batch (or the same key twice in one suite) simulate once.
+        unique: dict[str, SimJob] = {}
+        for job in jobs:
+            if job.key in unique:
+                self.stats.counters.add("jobs_deduped")
+            else:
+                unique[job.key] = job
+
+        state = _RunState(total=len(unique))
+        pending: list[SimJob] = []
+        for key, job in unique.items():
+            cached = _runner._memory_cache.get(key)
+            if cached is not None:
+                self.stats.counters.add("jobs_from_memory")
+                self._resolve(state, job, cached)
+                continue
+            cached = _runner._load_disk(key)
+            if cached is not None:
+                self.stats.counters.add("jobs_from_disk")
+                _runner._memory_cache[key] = cached
+                self._resolve(state, job, cached)
+                continue
+            pending.append(job)
+
+        if pending:
+            context = _pool_context()
+            if self._effective_workers(len(pending)) == 1 or context is None:
+                self._run_serial(state, pending)
+            else:
+                self._run_pool(state, pending, context)
+
+        self.stats.wall_seconds += time.perf_counter() - start
+        if state.failures:
+            raise ParallelExecutionError(state.failures)
+        return state.results
+
+    # -- internals ---------------------------------------------------------
+
+    def _effective_workers(self, n_pending: int) -> int:
+        return min(self.jobs, n_pending)
+
+    def _resolve(self, state: _RunState, job: SimJob, result: SimResult) -> None:
+        state.results[job.key] = result
+        state.done += 1
+        if self.progress is not None:
+            self.progress(state.done, state.total, job)
+
+    def _merge(self, state: _RunState, job: SimJob, result: SimResult) -> None:
+        """Merge a freshly simulated result into both cache layers."""
+        _runner._memory_cache[job.key] = result
+        # The worker already persisted it; cover the serial path and any
+        # worker whose write failed.  Atomic replace makes this re-write
+        # race-free even if another process is storing the same key.
+        if _runner._load_disk(job.key) is None:
+            _runner._store_disk(job.key, result)
+        self._resolve(state, job, result)
+
+    def _run_serial(self, state: _RunState, pending: list[SimJob]) -> None:
+        """In-process fallback: identical semantics, no pool overhead."""
+        for job in pending:
+            try:
+                result, seconds = _execute_job(
+                    job.workload, job.config, job.n_instructions
+                )
+            except Exception as error:
+                self.stats.counters.add("jobs_failed")
+                state.failures.append((job, error))
+                continue
+            self.stats.counters.add("jobs_simulated")
+            self.stats.timings.append(JobTiming(job, seconds))
+            self._merge(state, job, result)
+
+    def _run_pool(
+        self,
+        state: _RunState,
+        pending: list[SimJob],
+        context: multiprocessing.context.BaseContext,
+    ) -> None:
+        workers = self._effective_workers(len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(os.getpid(),),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _execute_job, job.workload, job.config, job.n_instructions
+                ): job
+                for job in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                completed, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in completed:
+                    job = futures[future]
+                    try:
+                        result, seconds = future.result()
+                    except Exception as error:
+                        self.stats.counters.add("jobs_failed")
+                        state.failures.append((job, error))
+                        continue
+                    self.stats.counters.add("jobs_simulated")
+                    self.stats.timings.append(JobTiming(job, seconds))
+                    self._merge(state, job, result)
+
+
+def run_jobs(
+    jobs: list[SimJob], *, workers: int | None = None, progress=None
+) -> dict[str, SimResult]:
+    """One-shot convenience wrapper around :class:`ParallelRunner`."""
+    return ParallelRunner(jobs=workers, progress=progress).run(jobs)

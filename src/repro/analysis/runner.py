@@ -3,8 +3,22 @@
 Experiments across different figures share many (workload, config) pairs —
 every figure needs the baseline, several need the no-µ-op-cache and ideal
 configurations.  ``run_cached`` memoises results in-process and, unless
-``REPRO_SIM_CACHE=0``, pickles them under ``.simcache/`` so repeated
-benchmark invocations skip simulation entirely.
+``REPRO_SIM_CACHE=0``, pickles them under ``.simcache/`` (or
+``REPRO_SIM_CACHE_DIR``) so repeated benchmark invocations skip simulation
+entirely.  ``run_suite`` routes batches of workloads through the parallel
+execution engine in :mod:`repro.analysis.parallel`.
+
+The on-disk format is hardened against interrupted runs:
+
+* **Atomic writes** — entries are written to a temp file in the cache
+  directory and ``os.replace``-d into place, so a killed process can never
+  leave a truncated ``.pkl`` at the final path.
+* **Checksummed envelope** — each file holds ``(CACHE_VERSION, key,
+  sha256, payload)``; loads verify the version, the key and the payload
+  digest before unpickling the result, so a wrong or bit-rotted entry is
+  discarded and re-simulated rather than silently returned.
+* **Single-flight** — concurrent in-process requests for the same key
+  simulate once; the rest wait and reuse the result.
 
 Cache keys include a ``CACHE_VERSION`` salt — bump it whenever simulator
 semantics change, or wipe with :func:`clear_disk_cache`.
@@ -15,76 +29,234 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import tempfile
+import threading
 from pathlib import Path
 
 from repro.core.configs import SimConfig
 from repro.core.pipeline import SimResult, simulate
 from repro.workloads.suite import load_workload
 
-#: Bump to invalidate previously cached simulation results.
-CACHE_VERSION = 4
+#: Bump to invalidate previously cached simulation results.  v5 introduced
+#: the checksummed envelope format; older plain-pickle entries fail the
+#: envelope check and are discarded on first touch.
+CACHE_VERSION = 5
 
-_CACHE_DIR = Path(os.environ.get("REPRO_SIM_CACHE_DIR", ".simcache"))
 _memory_cache: dict[str, SimResult] = {}
+
+# Single-flight bookkeeping: key -> Event set once the simulation finishes.
+_inflight: dict[str, threading.Event] = {}
+_inflight_lock = threading.Lock()
 
 
 def _disk_enabled() -> bool:
     return os.environ.get("REPRO_SIM_CACHE", "1") != "0"
 
 
-def _cache_key(workload: str, n_instructions: int, config: SimConfig) -> str:
+def _cache_dir() -> Path:
+    """Cache directory, resolved from the environment at call time.
+
+    Reading ``REPRO_SIM_CACHE_DIR`` lazily (rather than at import) lets
+    tests and CI redirect the cache without re-importing the module.
+    """
+    return Path(os.environ.get("REPRO_SIM_CACHE_DIR", ".simcache"))
+
+
+def cache_key(workload: str, n_instructions: int, config: SimConfig) -> str:
+    """Stable content key for one (workload, config, length) simulation."""
     blob = f"v{CACHE_VERSION}|{workload}|{n_instructions}|{config!r}"
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
 
 
-def run_cached(workload: str, config: SimConfig, n_instructions: int = 40_000) -> SimResult:
-    """Simulate ``workload`` under ``config``, reusing cached results."""
-    key = _cache_key(workload, n_instructions, config)
-    result = _memory_cache.get(key)
-    if result is not None:
-        return result
+# Backwards-compatible private alias (pre-engine callers used _cache_key).
+_cache_key = cache_key
 
-    if _disk_enabled():
-        path = _CACHE_DIR / f"{key}.pkl"
-        if path.exists():
-            try:
-                with path.open("rb") as handle:
-                    result = pickle.load(handle)
-                _memory_cache[key] = result
-                return result
-            except Exception:
-                path.unlink(missing_ok=True)
 
-    spec = load_workload(workload, n_instructions)
-    result = simulate(spec.trace, config, name=workload)
-    _memory_cache[key] = result
+def _entry_path(key: str) -> Path:
+    return _cache_dir() / f"{key}.pkl"
 
-    if _disk_enabled():
-        _CACHE_DIR.mkdir(exist_ok=True)
-        path = _CACHE_DIR / f"{key}.pkl"
-        try:
-            with path.open("wb") as handle:
-                pickle.dump(result, handle)
-        except Exception:
-            path.unlink(missing_ok=True)
+
+def _encode_entry(key: str, result: SimResult) -> bytes:
+    payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest()
+    return pickle.dumps(
+        (CACHE_VERSION, key, digest, payload), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def _decode_entry(key: str, raw: bytes) -> SimResult:
+    """Decode one cache file; raises on any mismatch or corruption."""
+    version, stored_key, digest, payload = pickle.loads(raw)
+    if version != CACHE_VERSION:
+        raise ValueError(f"cache version {version} != {CACHE_VERSION}")
+    if stored_key != key:
+        raise ValueError(f"cache key mismatch: {stored_key} != {key}")
+    if hashlib.sha256(payload).hexdigest() != digest:
+        raise ValueError("cache payload checksum mismatch")
+    result = pickle.loads(payload)
+    if not isinstance(result, SimResult):
+        raise ValueError(f"cache payload is {type(result).__name__}, not SimResult")
     return result
 
 
+def _load_disk(key: str) -> SimResult | None:
+    """Load a verified entry from disk; quarantine anything suspect."""
+    if not _disk_enabled():
+        return None
+    path = _entry_path(key)
+    if not path.exists():
+        return None
+    try:
+        result = _decode_entry(key, path.read_bytes())
+    except Exception:
+        # Truncated, stale-format, or bit-rotted — drop it and re-simulate.
+        path.unlink(missing_ok=True)
+        return None
+    return result
+
+
+def _store_disk(key: str, result: SimResult) -> None:
+    """Atomically persist one entry: temp file in-dir, then ``os.replace``."""
+    if not _disk_enabled():
+        return
+    directory = _cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        blob = _encode_entry(key, result)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=directory, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, _entry_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except Exception:
+        # Caching is best-effort; the in-memory result is still valid.
+        pass
+
+
+def run_cached(workload: str, config: SimConfig, n_instructions: int = 40_000) -> SimResult:
+    """Simulate ``workload`` under ``config``, reusing cached results.
+
+    Thread-safe and single-flight: if another thread is already simulating
+    the same key, this call waits for it instead of duplicating the work.
+    """
+    key = cache_key(workload, n_instructions, config)
+    while True:
+        result = _memory_cache.get(key)
+        if result is not None:
+            return result
+
+        with _inflight_lock:
+            # Re-check under the lock — a racer may have just finished.
+            result = _memory_cache.get(key)
+            if result is not None:
+                return result
+            pending = _inflight.get(key)
+            if pending is None:
+                _inflight[key] = threading.Event()
+                break  # we own the flight
+        pending.wait()
+
+    try:
+        result = _load_disk(key)
+        if result is None:
+            spec = load_workload(workload, n_instructions)
+            result = simulate(spec.trace, config, name=workload)
+            _store_disk(key, result)
+        _memory_cache[key] = result
+        return result
+    finally:
+        with _inflight_lock:
+            event = _inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
+
 def run_suite(
-    workloads: list[str], config: SimConfig, n_instructions: int = 40_000
+    workloads: list[str],
+    config: SimConfig,
+    n_instructions: int = 40_000,
+    *,
+    jobs: int | None = None,
+    progress=None,
 ) -> dict[str, SimResult]:
-    """Run several workloads under one config (cached)."""
-    return {
-        name: run_cached(name, config, n_instructions) for name in workloads
-    }
+    """Run several workloads under one config, in parallel when possible.
+
+    ``jobs`` overrides the worker count (default: ``REPRO_SIM_JOBS`` env
+    var, falling back to ``os.cpu_count()``); ``progress`` is an optional
+    ``(done, total, job)`` callback.  Results are bit-identical to calling
+    :func:`run_cached` serially for each workload.
+    """
+    from repro.analysis.parallel import ParallelRunner, SimJob
+
+    runner = ParallelRunner(jobs=jobs, progress=progress)
+    sim_jobs = [SimJob(name, config, n_instructions) for name in workloads]
+    by_key = runner.run(sim_jobs)
+    return {job.workload: by_key[job.key] for job in sim_jobs}
+
+
+def clear_memory_cache() -> int:
+    """Drop all in-process cached results; returns the number removed."""
+    removed = len(_memory_cache)
+    _memory_cache.clear()
+    return removed
 
 
 def clear_disk_cache() -> int:
-    """Delete all on-disk cached results; returns the number removed."""
-    if not _CACHE_DIR.exists():
+    """Delete all on-disk cached results (including stray temp files left
+    by killed writers); returns the number of cache entries removed."""
+    directory = _cache_dir()
+    if not directory.exists():
         return 0
     removed = 0
-    for path in _CACHE_DIR.glob("*.pkl"):
-        path.unlink()
+    for path in directory.glob("*.pkl"):
+        path.unlink(missing_ok=True)
         removed += 1
+    for path in directory.glob(".*.tmp"):
+        path.unlink(missing_ok=True)
     return removed
+
+
+def cache_stats() -> dict:
+    """Summary of the cache state for ``repro cache stats``."""
+    directory = _cache_dir()
+    entries = list(directory.glob("*.pkl")) if directory.exists() else []
+    temp_files = list(directory.glob(".*.tmp")) if directory.exists() else []
+    return {
+        "directory": str(directory),
+        "disk_enabled": _disk_enabled(),
+        "disk_entries": len(entries),
+        "disk_bytes": sum(path.stat().st_size for path in entries),
+        "temp_files": len(temp_files),
+        "memory_entries": len(_memory_cache),
+        "cache_version": CACHE_VERSION,
+    }
+
+
+def verify_disk_cache(fix: bool = False) -> dict:
+    """Check every on-disk entry's envelope (version + key + checksum).
+
+    Returns ``{"ok": int, "corrupt": [filenames]}``; with ``fix=True``
+    corrupt entries are deleted so the next run re-simulates them.
+    """
+    directory = _cache_dir()
+    ok = 0
+    corrupt: list[str] = []
+    if directory.exists():
+        for path in sorted(directory.glob("*.pkl")):
+            key = path.stem
+            try:
+                _decode_entry(key, path.read_bytes())
+                ok += 1
+            except Exception:
+                corrupt.append(path.name)
+                if fix:
+                    path.unlink(missing_ok=True)
+    return {"ok": ok, "corrupt": corrupt}

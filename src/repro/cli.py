@@ -11,7 +11,11 @@ Commands
     ``--ideal-uop-cache``, ``--prefetcher``, ``--mrc``.
 ``experiment NAME``
     Run one paper experiment (``fig02`` … ``fig16``, ``taba``) and print
-    its table; ``--full`` uses the whole suite.
+    its table; ``--full`` uses the whole suite, ``--jobs N`` sets the
+    parallel engine's worker count, ``--stats`` prints engine throughput.
+``cache stats|clear|verify``
+    Inspect, wipe, or integrity-check the simulation result cache
+    (``.simcache/`` or ``REPRO_SIM_CACHE_DIR``).
 ``export WORKLOAD FILE``
     Materialise a workload trace to ``.npz`` (binary) or ``.txt`` (text).
 """
@@ -59,6 +63,23 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("name")
     experiment.add_argument("--full", action="store_true")
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="parallel simulation workers (default: REPRO_SIM_JOBS or CPU count)",
+    )
+
+    cache = commands.add_parser("cache", help="manage the simulation result cache")
+    cache_actions = cache.add_subparsers(dest="cache_action", required=True)
+    cache_actions.add_parser("stats", help="show cache size and location")
+    cache_actions.add_parser("clear", help="delete all cached results")
+    verify = cache_actions.add_parser(
+        "verify", help="integrity-check every cached entry"
+    )
+    verify.add_argument(
+        "--fix", action="store_true", help="delete corrupt entries"
+    )
 
     export = commands.add_parser("export", help="export a workload trace")
     export.add_argument("workload", choices=sorted(SUITE))
@@ -135,17 +156,44 @@ def _workloads() -> int:
 
 
 def _experiment(args: argparse.Namespace) -> int:
-    from repro.experiments.registry import EXPERIMENTS
-
-    if args.name not in EXPERIMENTS:
-        print(f"unknown experiment {args.name!r}; choose from {sorted(EXPERIMENTS)}")
-        return 2
     from repro.experiments import FULL, QUICK
+    from repro.experiments.registry import run_experiment
 
-    module = EXPERIMENTS[args.name]
-    result = module.run(FULL if args.full else QUICK)
-    print(module.render(result))
+    try:
+        _, rendered = run_experiment(
+            args.name, FULL if args.full else QUICK, jobs=args.jobs
+        )
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    print(rendered)
     return 0
+
+
+def _cache(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import cache_stats, clear_disk_cache, verify_disk_cache
+
+    if args.cache_action == "stats":
+        stats = cache_stats()
+        print(f"directory      {stats['directory']}")
+        print(f"disk cache     {'enabled' if stats['disk_enabled'] else 'disabled'}")
+        print(f"cache version  {stats['cache_version']}")
+        print(f"disk entries   {stats['disk_entries']}")
+        print(f"disk bytes     {stats['disk_bytes']}")
+        print(f"temp files     {stats['temp_files']}")
+        print(f"memory entries {stats['memory_entries']}")
+        return 0
+    if args.cache_action == "clear":
+        print(f"removed {clear_disk_cache()} cached result(s)")
+        return 0
+    if args.cache_action == "verify":
+        report = verify_disk_cache(fix=args.fix)
+        print(f"ok      {report['ok']}")
+        print(f"corrupt {len(report['corrupt'])}")
+        for name in report["corrupt"]:
+            print(f"  {name}{'  (deleted)' if args.fix else ''}")
+        return 1 if report["corrupt"] and not args.fix else 0
+    raise AssertionError(f"unhandled cache action {args.cache_action}")
 
 
 def _export(args: argparse.Namespace) -> int:
@@ -168,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
         return _simulate(args)
     if args.command == "experiment":
         return _experiment(args)
+    if args.command == "cache":
+        return _cache(args)
     if args.command == "export":
         return _export(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 
 def amean(values: Iterable[float]) -> float:
@@ -49,6 +50,54 @@ def per_kilo(numerator: float, denominator: float) -> float:
     if denominator == 0:
         return 0.0
     return 1000.0 * numerator / denominator
+
+
+def quantile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolated quantile ``q`` in [0, 1]; 0.0 for empty input."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile requires 0 <= q <= 1, got {q}")
+    position = q * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    value = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    # Clamp: float rounding must not push the result past the bracket.
+    return min(max(value, ordered[low]), ordered[high])
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Distribution summary of a batch of wall-clock samples (seconds).
+
+    Used by the parallel experiment engine for per-job timing and
+    throughput reporting; all fields are 0.0 for an empty batch.
+    """
+
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "TimingSummary":
+        values = list(samples)
+        if not values:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=len(values),
+            total=sum(values),
+            mean=amean(values),
+            p50=quantile(values, 0.50),
+            p95=quantile(values, 0.95),
+            max=max(values),
+        )
 
 
 class StatBlock:

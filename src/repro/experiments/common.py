@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.analysis.runner import run_cached
+from repro.analysis.parallel import ParallelRunner, SimJob
+from repro.analysis.runner import run_cached, run_suite
 from repro.common.stats import geomean
 from repro.core.configs import SimConfig, UCPConfig
 from repro.core.pipeline import SimResult
@@ -73,14 +74,42 @@ def run(workload: str, config: SimConfig, scale: Scale) -> SimResult:
 
 
 def run_all(config: SimConfig, scale: Scale, workloads=None) -> dict[str, SimResult]:
+    """Run every workload of ``scale`` under ``config``.
+
+    Routed through the parallel execution engine (``REPRO_SIM_JOBS``
+    selects worker count), with results identical to the serial path.
+    """
     names = scale.workloads if workloads is None else workloads
-    return {name: run(name, config, scale) for name in names}
+    return run_suite(list(names), config, scale.n_instructions)
+
+
+def run_matrix(
+    configs: dict[str, SimConfig], scale: Scale, workloads=None
+) -> dict[str, dict[str, SimResult]]:
+    """Run a whole ``{label: config}`` × workload grid in one engine batch.
+
+    Submitting the full cross product at once lets the engine overlap
+    simulations across configurations, not just across workloads.
+    """
+    names = list(scale.workloads if workloads is None else workloads)
+    jobs = {
+        (label, name): SimJob(name, config, scale.n_instructions)
+        for label, config in configs.items()
+        for name in names
+    }
+    results = ParallelRunner().run(list(jobs.values()))
+    return {
+        label: {name: results[jobs[label, name].key] for name in names}
+        for label in configs
+    }
 
 
 def select_workloads(scale: Scale, min_ideal_gain: float = 5.0) -> tuple[str, ...]:
     """Paper Section V: keep traces with >= 5% ideal-µ-op-cache headroom."""
-    base = run_all(baseline_config(), scale)
-    ideal = run_all(ideal_config(), scale)
+    grid = run_matrix(
+        {"base": baseline_config(), "ideal": ideal_config()}, scale
+    )
+    base, ideal = grid["base"], grid["ideal"]
     selected = tuple(
         name
         for name in scale.workloads

@@ -1,4 +1,10 @@
-"""Registry mapping experiment names to their driver modules."""
+"""Registry mapping experiment names to their driver modules.
+
+:func:`run_experiment` is the canonical entry point used by the CLI and
+scripting callers; it routes every driver's simulations through the
+parallel execution engine (see :mod:`repro.analysis.parallel`) simply by
+virtue of the drivers calling :func:`repro.experiments.common.run_all`.
+"""
 
 from __future__ import annotations
 
@@ -38,3 +44,33 @@ EXPERIMENTS = {
     "fig16": fig16_pareto,
     "taba": taba_variants,
 }
+
+
+def run_experiment(name: str, scale=None, *, jobs: int | None = None):
+    """Run one registered experiment and return ``(result, rendered_text)``.
+
+    ``scale`` defaults to QUICK; ``jobs`` (when given) pins the parallel
+    engine's worker count for the duration of the run via
+    ``REPRO_SIM_JOBS``, so every ``run_all`` inside the driver inherits it.
+    """
+    import os
+
+    from repro.experiments.common import QUICK
+
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    module = EXPERIMENTS[name]
+    previous = os.environ.get("REPRO_SIM_JOBS")
+    if jobs is not None:
+        os.environ["REPRO_SIM_JOBS"] = str(jobs)
+    try:
+        result = module.run(QUICK if scale is None else scale)
+    finally:
+        if jobs is not None:
+            if previous is None:
+                os.environ.pop("REPRO_SIM_JOBS", None)
+            else:
+                os.environ["REPRO_SIM_JOBS"] = previous
+    return result, module.render(result)

@@ -24,7 +24,7 @@ class TestRunner:
     def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
         import repro.analysis.runner as runner
 
-        monkeypatch.setattr(runner, "_CACHE_DIR", tmp_path)
+        monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path))
         monkeypatch.setenv("REPRO_SIM_CACHE", "1")
         runner._memory_cache.clear()
         first = runner.run_cached("fp_01", SimConfig(), 2_000)
@@ -37,7 +37,7 @@ class TestRunner:
     def test_disk_cache_disable(self, tmp_path, monkeypatch):
         import repro.analysis.runner as runner
 
-        monkeypatch.setattr(runner, "_CACHE_DIR", tmp_path)
+        monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path))
         monkeypatch.setenv("REPRO_SIM_CACHE", "0")
         runner._memory_cache.clear()
         runner.run_cached("fp_01", SimConfig(), 2_000)

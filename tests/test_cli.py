@@ -75,6 +75,49 @@ class TestExperimentCommand:
         assert "unknown experiment" in capsys.readouterr().out
 
 
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        import repro.analysis.runner as runner
+
+        monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SIM_CACHE", "1")
+        runner._memory_cache.clear()
+        self.cache_dir = tmp_path
+
+    def test_stats(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(self.cache_dir) in out
+        assert "disk entries   0" in out
+
+    def test_clear_reports_count(self, capsys):
+        from repro.analysis.runner import run_cached
+        from repro.core import SimConfig
+
+        run_cached("fp_01", SimConfig(), 2_000)
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cached result(s)" in capsys.readouterr().out
+
+    def test_verify_flags_corruption_and_fixes(self, capsys):
+        from repro.analysis.runner import run_cached
+        from repro.core import SimConfig
+
+        run_cached("fp_01", SimConfig(), 2_000)
+        bad = self.cache_dir / ("f" * 32 + ".pkl")
+        bad.write_bytes(b"garbage")
+        assert main(["cache", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "ok      1" in out and "corrupt 1" in out
+        assert main(["cache", "verify", "--fix"]) == 0
+        assert not bad.exists()
+        assert main(["cache", "verify"]) == 0
+
+    def test_action_required(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+
 class TestExportCommand:
     def test_export_text(self, tmp_path, capsys):
         path = tmp_path / "trace.txt"

@@ -8,11 +8,13 @@ from hypothesis import strategies as st
 
 from repro.common.stats import (
     StatBlock,
+    TimingSummary,
     amean,
     geomean,
     geomean_speedup,
     per_kilo,
     percent,
+    quantile,
 )
 
 
@@ -105,3 +107,48 @@ class TestStatBlock:
         snapshot = stats.as_dict()
         snapshot["k"] = 99
         assert stats["k"] == 1
+
+
+class TestQuantile:
+    def test_empty_is_zero(self):
+        assert quantile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert quantile([3.0], 0.0) == 3.0
+        assert quantile([3.0], 1.0) == 3.0
+
+    def test_median_interpolates(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_endpoints(self):
+        values = [5.0, 1.0, 3.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 5.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50))
+    def test_bounded_by_min_max(self, values):
+        for q in (0.25, 0.5, 0.95):
+            assert min(values) <= quantile(values, q) <= max(values)
+
+
+class TestTimingSummary:
+    def test_empty(self):
+        summary = TimingSummary.from_samples([])
+        assert summary.count == 0
+        assert summary.total == summary.mean == summary.p95 == 0.0
+
+    def test_basic_fields(self):
+        summary = TimingSummary.from_samples([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.total == 6.0
+        assert summary.mean == 2.0
+        assert summary.p50 == 2.0
+        assert summary.max == 3.0
+
+    def test_p95_near_top(self):
+        summary = TimingSummary.from_samples(float(v) for v in range(1, 101))
+        assert 95.0 <= summary.p95 <= 96.0

@@ -1,0 +1,89 @@
+"""Determinism regression tests.
+
+The whole caching and parallel-execution story rests on one invariant:
+simulating the same seeded workload under the same config always produces
+bit-identical results, regardless of process, hash randomization, or
+global state left behind by earlier simulations.  These tests run fresh
+simulations in separate subprocesses — with *different* ``PYTHONHASHSEED``
+values — and assert identical metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+_PROBE = """
+import json, sys
+from repro.core import SimConfig
+from repro.core.pipeline import simulate
+from repro.workloads.suite import load_workload
+
+spec = load_workload(sys.argv[1], int(sys.argv[2]))
+result = simulate(spec.trace, SimConfig(), name=sys.argv[1])
+print(json.dumps({
+    "ipc": result.ipc,
+    "cycles": result.cycles,
+    "cond_mpki": result.cond_mpki,
+    "uop_hit_rate": result.uop_hit_rate,
+    "window": result.window,
+}, sort_keys=True))
+"""
+
+
+def _simulate_in_subprocess(workload: str, n: int, hashseed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hashseed
+    env["REPRO_SIM_CACHE"] = "0"  # force a genuinely fresh simulation
+    proc = subprocess.run(
+        [sys.executable, "-c", _PROBE, workload, str(n)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+class TestCrossProcessDeterminism:
+    def test_identical_metrics_across_processes_and_hashseeds(self):
+        """Two fresh processes with different hash randomization must agree
+        on every metric — guards against set/dict-iteration-order and
+        ``hash()``-dependent simulator behavior."""
+        first = _simulate_in_subprocess("int_02", 3_000, hashseed="0")
+        second = _simulate_in_subprocess("int_02", 3_000, hashseed="12345")
+        assert first == second
+
+    def test_repeat_in_same_process_matches_subprocess(self):
+        """An in-process simulation (after other tests may have run many
+        simulations) matches a pristine subprocess — guards against hidden
+        global state leaking between runs."""
+        from repro.core import SimConfig
+        from repro.core.pipeline import simulate
+        from repro.workloads.suite import load_workload
+
+        spec = load_workload("fp_02", 2_500)
+        local = simulate(spec.trace, SimConfig(), name="fp_02")
+        remote = _simulate_in_subprocess("fp_02", 2_500, hashseed="99")
+        assert local.ipc == remote["ipc"]
+        assert local.cycles == remote["cycles"]
+        assert local.cond_mpki == remote["cond_mpki"]
+        assert local.window == remote["window"]
+
+    def test_back_to_back_simulations_identical(self):
+        """Two back-to-back in-process simulations of one workload are
+        bit-identical (the simulator holds no cross-run mutable state)."""
+        from repro.core import SimConfig
+        from repro.core.pipeline import simulate
+        from repro.workloads.suite import load_workload
+
+        a = simulate(load_workload("srv_02", 2_000).trace, SimConfig(), name="s")
+        b = simulate(load_workload("srv_02", 2_000).trace, SimConfig(), name="s")
+        assert a.window == b.window
+        assert a.cycles == b.cycles

@@ -1,0 +1,225 @@
+"""Differential and failure-path tests for the parallel experiment engine.
+
+The engine's contract is *bit-identical results*: running a suite through
+``ParallelRunner`` (any worker count) must produce exactly the same
+``SimResult`` fields as serial ``run_cached`` — same seeds, same stats
+dicts, same cycle counts.  These tests verify that contract, the
+``jobs=1`` fallback, worker-count resolution, single-flight dedup, and
+that a failed worker leaves the cache uncorrupted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+import repro.analysis.runner as runner
+from repro.analysis.parallel import (
+    ParallelExecutionError,
+    ParallelRunner,
+    SimJob,
+    resolve_job_count,
+    run_jobs,
+)
+from repro.core import SimConfig
+
+#: A QUICK-flavoured but test-sized suite: one workload per category.
+SUITE = ("srv_02", "int_02", "crypto_02", "fp_01")
+N_INSTRUCTIONS = 2_000
+
+
+def _result_fields(result):
+    """Every externally observable field of a SimResult, for equality."""
+    return {
+        "name": result.name,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "window": result.window,
+        "window_instructions": result.window_instructions,
+        "window_cycles": result.window_cycles,
+        "confidence": {
+            name: stats.stats.as_dict()
+            for name, stats in result.confidence.items()
+        },
+    }
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_SIM_CACHE", "1")
+    monkeypatch.delenv("REPRO_SIM_JOBS", raising=False)
+    runner._memory_cache.clear()
+    yield tmp_path
+    runner._memory_cache.clear()
+
+
+def _serial_reference(tmp_path, monkeypatch):
+    """Serial run_cached results computed against an isolated cache."""
+    serial_dir = tmp_path / "serial"
+    monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(serial_dir))
+    runner._memory_cache.clear()
+    reference = {
+        name: _result_fields(
+            runner.run_cached(name, SimConfig(), N_INSTRUCTIONS)
+        )
+        for name in SUITE
+    }
+    runner._memory_cache.clear()
+    return reference
+
+
+class TestDifferential:
+    def test_parallel_identical_to_serial(self, fresh_cache, monkeypatch):
+        reference = _serial_reference(fresh_cache, monkeypatch)
+
+        parallel_dir = fresh_cache / "parallel"
+        monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(parallel_dir))
+        engine = ParallelRunner(jobs=2)
+        jobs = [SimJob(name, SimConfig(), N_INSTRUCTIONS) for name in SUITE]
+        results = engine.run(jobs)
+
+        assert engine.stats.counters["jobs_simulated"] == len(SUITE)
+        for job in jobs:
+            assert _result_fields(results[job.key]) == reference[job.workload]
+
+    def test_jobs_1_fallback_identical(self, fresh_cache, monkeypatch):
+        reference = _serial_reference(fresh_cache, monkeypatch)
+
+        monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(fresh_cache / "one"))
+        engine = ParallelRunner(jobs=1)
+        jobs = [SimJob(name, SimConfig(), N_INSTRUCTIONS) for name in SUITE]
+        results = engine.run(jobs)
+        for job in jobs:
+            assert _result_fields(results[job.key]) == reference[job.workload]
+
+    def test_run_suite_matches_run_cached(self, fresh_cache):
+        suite = runner.run_suite(list(SUITE), SimConfig(), N_INSTRUCTIONS)
+        for name in SUITE:
+            direct = runner.run_cached(name, SimConfig(), N_INSTRUCTIONS)
+            assert _result_fields(suite[name]) == _result_fields(direct)
+
+
+class TestScheduling:
+    def test_duplicate_jobs_simulate_once(self, fresh_cache):
+        engine = ParallelRunner(jobs=2)
+        job = SimJob("fp_01", SimConfig(), N_INSTRUCTIONS)
+        results = engine.run([job, job, job])
+        assert engine.stats.counters["jobs_requested"] == 3
+        assert engine.stats.counters["jobs_deduped"] == 2
+        assert engine.stats.counters["jobs_simulated"] == 1
+        assert set(results) == {job.key}
+
+    def test_cache_hits_not_resimulated(self, fresh_cache):
+        job = SimJob("fp_01", SimConfig(), N_INSTRUCTIONS)
+        ParallelRunner(jobs=1).run([job])
+        runner._memory_cache.clear()  # force the disk path
+        engine = ParallelRunner(jobs=1)
+        engine.run([job])
+        assert engine.stats.counters["jobs_from_disk"] == 1
+        assert engine.stats.counters["jobs_simulated"] == 0
+        engine2 = ParallelRunner(jobs=1)
+        engine2.run([job])
+        assert engine2.stats.counters["jobs_from_memory"] == 1
+
+    def test_progress_callback_sees_every_job(self, fresh_cache):
+        seen = []
+        engine = ParallelRunner(
+            jobs=2, progress=lambda done, total, job: seen.append((done, total))
+        )
+        jobs = [SimJob(name, SimConfig(), N_INSTRUCTIONS) for name in SUITE]
+        engine.run(jobs)
+        assert len(seen) == len(SUITE)
+        assert seen[-1] == (len(SUITE), len(SUITE))
+        assert [done for done, _ in seen] == list(range(1, len(SUITE) + 1))
+
+    def test_worker_count_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_JOBS", raising=False)
+        assert resolve_job_count(3) == 3
+        assert resolve_job_count() == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_SIM_JOBS", "7")
+        assert resolve_job_count() == 7
+        assert resolve_job_count(2) == 2  # explicit arg wins
+        monkeypatch.setenv("REPRO_SIM_JOBS", "not-a-number")
+        assert resolve_job_count() == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_SIM_JOBS", "0")
+        assert resolve_job_count() == 1  # clamped
+
+    def test_engine_stats_render(self, fresh_cache):
+        engine = ParallelRunner(jobs=1)
+        engine.run([SimJob("fp_01", SimConfig(), N_INSTRUCTIONS)])
+        text = engine.stats.render()
+        assert "1 simulated" in text and "jobs/s" in text
+        assert engine.stats.throughput > 0.0
+
+
+class TestFailurePaths:
+    def test_failed_worker_raises_and_preserves_cache(self, fresh_cache):
+        engine = ParallelRunner(jobs=2)
+        jobs = [
+            SimJob("fp_01", SimConfig(), N_INSTRUCTIONS),
+            SimJob("no_such_workload", SimConfig(), N_INSTRUCTIONS),
+            SimJob("crypto_02", SimConfig(), N_INSTRUCTIONS),
+        ]
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            engine.run(jobs)
+        assert "no_such_workload" in str(excinfo.value)
+        assert engine.stats.counters["jobs_failed"] == 1
+        # The good jobs landed in the cache, and every entry is valid.
+        assert engine.stats.counters["jobs_simulated"] == 2
+        report = runner.verify_disk_cache()
+        assert report["corrupt"] == []
+        assert report["ok"] == 2
+
+    def test_failed_worker_serial_fallback(self, fresh_cache):
+        engine = ParallelRunner(jobs=1)
+        with pytest.raises(ParallelExecutionError):
+            engine.run([SimJob("no_such_workload", SimConfig(), 1_000)])
+        assert runner.verify_disk_cache() == {"ok": 0, "corrupt": []}
+
+    def test_results_usable_after_partial_failure(self, fresh_cache):
+        engine = ParallelRunner(jobs=2)
+        good = SimJob("fp_01", SimConfig(), N_INSTRUCTIONS)
+        bad = SimJob("no_such_workload", SimConfig(), N_INSTRUCTIONS)
+        with pytest.raises(ParallelExecutionError):
+            engine.run([good, bad])
+        # The good result is cached: a retry without the bad job is a hit.
+        retry = ParallelRunner(jobs=2)
+        retry.run([good])
+        assert retry.stats.counters["jobs_simulated"] == 0
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="wall-clock speedup needs >= 2 cores"
+)
+class TestSpeedup:
+    def test_parallel_faster_than_serial_uncached(self, fresh_cache, monkeypatch):
+        from repro.experiments.common import QUICK
+
+        jobs = [
+            SimJob(name, SimConfig(), QUICK.n_instructions)
+            for name in QUICK.workloads
+        ]
+
+        monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(fresh_cache / "serial"))
+        runner._memory_cache.clear()
+        start = time.perf_counter()
+        ParallelRunner(jobs=1).run(jobs)
+        serial_seconds = time.perf_counter() - start
+
+        monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(fresh_cache / "par"))
+        runner._memory_cache.clear()
+        start = time.perf_counter()
+        ParallelRunner(jobs=4).run(jobs)
+        parallel_seconds = time.perf_counter() - start
+
+        assert parallel_seconds < serial_seconds
+
+
+class TestRunJobsHelper:
+    def test_run_jobs_wrapper(self, fresh_cache):
+        job = SimJob("fp_01", SimConfig(), N_INSTRUCTIONS)
+        results = run_jobs([job], workers=1)
+        assert results[job.key].name == "fp_01"
