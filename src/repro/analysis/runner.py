@@ -39,8 +39,10 @@ from repro.workloads.suite import load_workload
 
 #: Bump to invalidate previously cached simulation results.  v5 introduced
 #: the checksummed envelope format; older plain-pickle entries fail the
-#: envelope check and are discarded on first touch.
-CACHE_VERSION = 5
+#: envelope check and are discarded on first touch.  v6: UCP walk
+#: back-pressure fixed to respect the Alt-FTQ capacity exactly (an
+#: off-by-one found by the repro.verify sim sanitizer).
+CACHE_VERSION = 6
 
 _memory_cache: dict[str, SimResult] = {}
 

@@ -19,13 +19,20 @@ class ReturnAddressStack:
         self._entries: list[int] = [0] * capacity
         self._top = 0  # index of the next free slot
         self._occupancy = 0
+        #: Optional golden reference model (repro.verify.oracles.RefRAS)
+        #: kept in lockstep when the sim sanitizer is enabled.
+        self.shadow = None
 
     def push(self, return_address: int) -> None:
+        if self.shadow is not None:
+            self.shadow.push(return_address)
         self._entries[self._top] = return_address
         self._top = (self._top + 1) % self.capacity
         self._occupancy = min(self.capacity, self._occupancy + 1)
 
     def pop(self) -> int | None:
+        if self.shadow is not None:
+            self.shadow.pop()
         if self._occupancy == 0:
             return None
         self._top = (self._top - 1) % self.capacity
@@ -54,6 +61,33 @@ class ReturnAddressStack:
             self._entries[slot] = address
         self._top = kept % self.capacity
         self._occupancy = kept
+        if self.shadow is not None and other.shadow is not None:
+            self.shadow.copy_from(other.shadow)
+
+    def check_invariants(self) -> None:
+        """Sim-sanitizer hook: structural depth/index bounds.
+
+        Raises ``AssertionError`` with a description on violation; the
+        invariant checker wraps it into a ``SimCheckError``.
+        """
+        assert 0 <= self._occupancy <= self.capacity, (
+            f"RAS occupancy {self._occupancy} outside [0, {self.capacity}]"
+        )
+        assert 0 <= self._top < self.capacity, (
+            f"RAS top pointer {self._top} outside [0, {self.capacity})"
+        )
+        assert len(self._entries) == self.capacity, (
+            f"RAS storage resized to {len(self._entries)} != {self.capacity}"
+        )
+        if self.shadow is not None:
+            assert len(self.shadow) == self._occupancy, (
+                f"RAS depth {self._occupancy} != reference depth "
+                f"{len(self.shadow)}"
+            )
+            assert self.shadow.peek() == self.peek(), (
+                f"RAS top {self.peek()!r} != reference top "
+                f"{self.shadow.peek()!r}"
+            )
 
     def __len__(self) -> int:
         return self._occupancy

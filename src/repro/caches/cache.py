@@ -51,6 +51,12 @@ class SetAssocCache:
         #: maintain inclusivity of structures shadowing this cache (the
         #: L1I-inclusive µ-op cache of paper Section IV-G-2).
         self.on_evict = None
+        #: Optional golden reference model
+        #: (repro.verify.oracles.RefSetAssocCache) kept in lockstep when
+        #: the sim sanitizer is enabled; must stay content-identical.
+        self.shadow = None
+        #: Hit/miss classification disagreements with the shadow oracle.
+        self.shadow_mismatches = 0
 
     def line_of(self, addr: int) -> int:
         return addr // self.config.line_size
@@ -88,6 +94,8 @@ class SetAssocCache:
 
     def invalidate(self, addr: int) -> bool:
         line = self.line_of(addr)
+        if self.shadow is not None:
+            self.shadow.invalidate(line)
         entries = self._sets[self._set_index(line)]
         if line in entries:
             del entries[line]
@@ -114,6 +122,8 @@ class SetAssocCache:
         if line in self._mshr:
             self.misses += 1
             self.mshr_merges += 1
+            if self.shadow is not None:
+                self.shadow.touch(line)  # merge = recency refresh only
             if line in entries:  # refresh LRU
                 del entries[line]
                 entries[line] = None
@@ -121,11 +131,15 @@ class SetAssocCache:
 
         if line in entries:
             self.hits += 1
+            if self.shadow is not None and not self.shadow.access(line):
+                self.shadow_mismatches += 1
             del entries[line]
             entries[line] = None
             return True, cycle + self.config.hit_latency
 
         self.misses += 1
+        if self.shadow is not None and self.shadow.access(line):
+            self.shadow_mismatches += 1
         start = cycle
         if len(self._mshr) >= self.config.mshr_entries:
             # Back-pressure: the miss cannot start until a slot frees.
@@ -142,6 +156,28 @@ class SetAssocCache:
         done = [line for line, ready in self._mshr.items() if ready <= cycle]
         for line in done:
             del self._mshr[line]
+
+    def check_invariants(self) -> None:
+        """Sim-sanitizer hook: geometry bounds and oracle agreement."""
+        name = self.config.name
+        for index, entries in enumerate(self._sets):
+            assert len(entries) <= self.config.ways, (
+                f"{name} set {index} holds {len(entries)} lines "
+                f"> {self.config.ways} ways"
+            )
+            for line in entries:
+                assert line % self._n_sets == index, (
+                    f"{name} line {line} stored in set {index}, "
+                    f"belongs in {line % self._n_sets}"
+                )
+        if self.shadow is not None:
+            assert self.shadow_mismatches == 0, (
+                f"{name}: {self.shadow_mismatches} hit/miss disagreements "
+                f"with the reference cache oracle"
+            )
+            assert self._sets == self.shadow.sets, (
+                f"{name}: contents diverged from the reference cache oracle"
+            )
 
     @property
     def accesses(self) -> int:

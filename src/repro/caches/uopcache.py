@@ -153,6 +153,40 @@ class UopCache:
     def occupancy(self) -> int:
         return sum(len(entries) for entries in self._sets)
 
+    def check_invariants(self) -> None:
+        """Sim-sanitizer hook: geometry, set mapping and entry shape."""
+        config = self.config
+        occupancy = 0
+        for index, entries in enumerate(self._sets):
+            assert len(entries) <= config.ways, (
+                f"uop cache set {index} holds {len(entries)} entries "
+                f"> {config.ways} ways"
+            )
+            occupancy += len(entries)
+            for pc, entry in entries.items():
+                assert pc == entry.start_pc, (
+                    f"uop cache entry keyed by {pc:#x} claims start "
+                    f"{entry.start_pc:#x}"
+                )
+                assert self._set_index(pc) == index, (
+                    f"uop cache entry {pc:#x} stored in set {index}, "
+                    f"belongs in {self._set_index(pc)}"
+                )
+                assert 1 <= entry.n_uops <= config.uops_per_entry, (
+                    f"uop cache entry {pc:#x} has {entry.n_uops} uops "
+                    f"outside [1, {config.uops_per_entry}]"
+                )
+                if not config.clasp:
+                    region_end = (pc // REGION_BYTES + 1) * REGION_BYTES
+                    assert entry.end_pc < region_end, (
+                        f"non-CLASP entry {pc:#x}..{entry.end_pc:#x} "
+                        f"crosses the 32B region ending at {region_end:#x}"
+                    )
+        capacity = config.n_sets * config.ways
+        assert occupancy <= capacity, (
+            f"uop cache occupancy {occupancy} > capacity {capacity} entries"
+        )
+
     @property
     def hit_rate(self) -> float:
         total = self.stats["lookup_hits"] + self.stats["lookup_misses"]

@@ -13,6 +13,11 @@ Commands
     Run one paper experiment (``fig02`` … ``fig16``, ``taba``) and print
     its table; ``--full`` uses the whole suite, ``--jobs N`` sets the
     parallel engine's worker count, ``--stats`` prints engine throughput.
+``verify``
+    Run the differential-oracle and invariant-sanitizer suite
+    (:mod:`repro.verify`): clean-model sweep against the commit-stream
+    oracle, or ``--inject FAULT`` to prove a deliberate bug is caught
+    (``--inject all`` for the whole registry, ``--list-faults`` to see it).
 ``cache stats|clear|verify``
     Inspect, wipe, or integrity-check the simulation result cache
     (``.simcache/`` or ``REPRO_SIM_CACHE_DIR``).
@@ -59,6 +64,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--mrc", type=int, metavar="ENTRIES")
     sim.add_argument("--uop-kops", type=int, choices=[4, 8, 16, 32, 64])
+    sim.add_argument(
+        "--check",
+        action="store_true",
+        help="run with per-cycle invariant checks (as REPRO_SIM_CHECK=1)",
+    )
+
+    verify = commands.add_parser(
+        "verify", help="run the differential oracle / sim-sanitizer suite"
+    )
+    verify.add_argument(
+        "--inject",
+        metavar="FAULT",
+        help="inject a deliberate bug and prove the sanitizer catches it "
+        "('all' runs the whole fault registry)",
+    )
+    verify.add_argument(
+        "--list-faults", action="store_true", help="list injectable faults"
+    )
+    verify.add_argument(
+        "--instructions",
+        type=int,
+        default=4_000,
+        help="trace length for the clean-model sweep",
+    )
 
     experiment = commands.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("name")
@@ -74,10 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_actions = cache.add_subparsers(dest="cache_action", required=True)
     cache_actions.add_parser("stats", help="show cache size and location")
     cache_actions.add_parser("clear", help="delete all cached results")
-    verify = cache_actions.add_parser(
+    cache_verify = cache_actions.add_parser(
         "verify", help="integrity-check every cached entry"
     )
-    verify.add_argument(
+    cache_verify.add_argument(
         "--fix", action="store_true", help="delete corrupt entries"
     )
 
@@ -115,7 +144,7 @@ def _simulate(args: argparse.Namespace) -> int:
         )
 
     trace = load_workload(args.workload, args.instructions).trace
-    result = simulate(trace, config)
+    result = simulate(trace, config, check=True if args.check else None)
     print(f"workload            {args.workload} ({args.instructions} instructions)")
     print(f"IPC                 {result.ipc:.4f}")
     print(f"cycles              {result.cycles}")
@@ -170,6 +199,44 @@ def _experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify(args: argparse.Namespace) -> int:
+    from repro.verify.differential import run_verification
+    from repro.verify.faults import FAULTS, run_all_faults, run_fault
+    from repro.verify.invariants import SimCheckError
+
+    if args.list_faults:
+        for fault in FAULTS.values():
+            print(f"{fault.name:20s} {fault.description}")
+            print(f"{'':20s} expected: {', '.join(fault.expected_invariants)}")
+        return 0
+
+    if args.inject:
+        if args.inject == "all":
+            results = run_all_faults()
+        elif args.inject in FAULTS:
+            results = [run_fault(args.inject)]
+        else:
+            print(
+                f"unknown fault {args.inject!r} — see `repro verify --list-faults`"
+            )
+            return 2
+        for outcome in results:
+            print(outcome.render())
+        missed = [outcome for outcome in results if not outcome.caught]
+        print(
+            f"{len(results) - len(missed)}/{len(results)} fault(s) caught"
+        )
+        return 1 if missed else 0
+
+    try:
+        report = run_verification(n_instructions=args.instructions)
+    except SimCheckError as error:
+        print(f"VERIFICATION FAILED: {error}")
+        return 1
+    print(report.render())
+    return 0
+
+
 def _cache(args: argparse.Namespace) -> int:
     from repro.analysis.runner import cache_stats, clear_disk_cache, verify_disk_cache
 
@@ -216,6 +283,8 @@ def main(argv: list[str] | None = None) -> int:
         return _simulate(args)
     if args.command == "experiment":
         return _experiment(args)
+    if args.command == "verify":
+        return _verify(args)
     if args.command == "cache":
         return _cache(args)
     if args.command == "export":

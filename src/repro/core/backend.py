@@ -52,6 +52,9 @@ class Backend:
         self.committed = 0
         #: Completions scheduled per cycle (virtual execution ports).
         self._exec_busy: dict[int, int] = {}
+        #: Optional callback invoked with each retired trace index, in
+        #: commit order — the differential harness's commit-stream tap.
+        self.commit_hook = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -111,12 +114,15 @@ class Backend:
     def commit(self, cycle: int) -> int:
         """Retire up to ``commit_width`` completed µ-ops in order."""
         retired = 0
+        hook = self.commit_hook
         while (
             retired < self.config.commit_width
             and self._rob
             and self._rob[0][1] <= cycle
         ):
-            self._rob.popleft()
+            entry = self._rob.popleft()
+            if hook is not None:
+                hook(entry[0])
             retired += 1
         self.committed += retired
         return retired
@@ -124,6 +130,39 @@ class Backend:
     @property
     def rob_occupancy(self) -> int:
         return len(self._rob)
+
+    @property
+    def dispatched(self) -> int:
+        """Total µ-ops dispatched so far (each trace index exactly once)."""
+        return len(self._completion)
+
+    def check_invariants(self) -> None:
+        """Sim-sanitizer hook: ROB bounds and committed-µ-op conservation.
+
+        There is no wrong-path execution and the ROB is never flushed, so
+        every dispatched µ-op is eventually committed and the ROB always
+        holds exactly the dispatched-but-uncommitted window, in trace
+        order.  Losing, duplicating or reordering a µ-op anywhere in the
+        dispatch→commit path breaks one of these equalities.
+        """
+        rob = self._rob
+        assert len(rob) <= self.config.rob_entries, (
+            f"ROB holds {len(rob)} > {self.config.rob_entries} entries"
+        )
+        dispatched = len(self._completion)
+        assert self.committed + len(rob) == dispatched, (
+            f"µ-op conservation broken: committed {self.committed} + "
+            f"ROB {len(rob)} != dispatched {dispatched}"
+        )
+        if rob:
+            assert rob[0][0] == self.committed, (
+                f"ROB head index {rob[0][0]} != commit cursor "
+                f"{self.committed} — commit stream skipped or duplicated"
+            )
+            assert rob[-1][0] - rob[0][0] == len(rob) - 1, (
+                f"ROB index range [{rob[0][0]}, {rob[-1][0]}] does not "
+                f"match its {len(rob)} entries — dispatch out of order"
+            )
 
     def completion_of(self, index: int) -> int | None:
         """Completion cycle of a dispatched (not yet retired) instruction."""

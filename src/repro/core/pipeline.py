@@ -98,7 +98,13 @@ class Simulator:
     #: Safety valve: a run may not exceed this many cycles per instruction.
     MAX_CPI = 400
 
-    def __init__(self, trace: Trace, config: SimConfig, name: str | None = None) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        config: SimConfig,
+        name: str | None = None,
+        check: bool | None = None,
+    ) -> None:
         self.trace = trace
         self.config = config
         self.name = name or trace.name
@@ -144,6 +150,12 @@ class Simulator:
         self.bpu.branch_hook = self._on_conditional
         if isinstance(self.prefetcher, DJoltPrefetcher):
             self.bpu.context_hook = self.prefetcher.update_context
+        # Sim sanitizer (repro.verify): None unless REPRO_SIM_CHECK is set
+        # or ``check=True`` — the run loop then pays only one pointer test
+        # per cycle for the instrumentation.
+        from repro.verify import make_checker
+
+        self.checker = make_checker(self, enabled=check)
 
     # ------------------------------------------------------------------
     # Hooks
@@ -176,6 +188,7 @@ class Simulator:
         bpu = self.bpu
         ftq = self.ftq
         queue = fetch.uop_queue
+        checker = self.checker
 
         while backend.committed < n:
             backend.commit(cycle)
@@ -221,12 +234,18 @@ class Simulator:
                 warm_snapshot = self.stats.as_dict()
                 warm_cycle = cycle
 
+            if checker is not None:
+                checker.on_cycle(cycle)
+
             cycle += 1
             if cycle > max_cycles:
                 raise RuntimeError(
                     f"{self.name}: no forward progress "
                     f"(committed {backend.committed}/{n} after {cycle} cycles)"
                 )
+
+        if checker is not None:
+            checker.on_finish(cycle)
 
         if warm_snapshot is None:  # degenerate warmup fractions
             warm_snapshot = {}
@@ -249,6 +268,15 @@ class Simulator:
         )
 
 
-def simulate(trace: Trace, config: SimConfig, name: str | None = None) -> SimResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(trace, config, name=name).run()
+def simulate(
+    trace: Trace,
+    config: SimConfig,
+    name: str | None = None,
+    check: bool | None = None,
+) -> SimResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it.
+
+    ``check`` forces the runtime invariant checker on (True) or off
+    (False); None defers to the ``REPRO_SIM_CHECK`` environment variable.
+    """
+    return Simulator(trace, config, name=name, check=check).run()

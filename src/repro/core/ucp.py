@@ -335,8 +335,13 @@ class UCPEngine:
         for _step in range(self.ucp.walk_instructions_per_cycle):
             if not self.active:
                 return
-            if len(self.alt_ftq) >= self.ucp.alt_ftq_entries:
-                return  # back-pressure: wait for tag checks to drain
+            if len(self.alt_ftq) + 2 > self.ucp.alt_ftq_entries:
+                # Back-pressure: wait for tag checks to drain.  One walk
+                # step can close up to two entries (a discontinuity closes
+                # the open entry and the new µ-op may immediately close its
+                # own), so stall while fewer than two slots are free — the
+                # Alt-FTQ can never exceed its configured capacity.
+                return
             pc = self._walk_pc
             if not codemap.known(pc):
                 # Unknown code == nothing in the BTB / no predecode info:

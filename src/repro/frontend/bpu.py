@@ -261,6 +261,18 @@ class BPU:
         self.btb.update(pc, branch_class, target)
         return mispredicted
 
+    def check_invariants(self) -> None:
+        """Sim-sanitizer hook: generation cursor and predictor stack state."""
+        assert 0 <= self.index <= len(self.trace), (
+            f"BPU cursor {self.index} outside trace of {len(self.trace)}"
+        )
+        if self.stalled_on is not None:
+            assert 0 <= self.stalled_on < self.index, (
+                f"BPU stalled on {self.stalled_on}, which is not behind "
+                f"the generation cursor {self.index}"
+            )
+        self.ras.check_invariants()
+
     # ------------------------------------------------------------------
     # Redirect
     # ------------------------------------------------------------------

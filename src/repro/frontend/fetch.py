@@ -376,3 +376,43 @@ class FetchEngine:
     @property
     def mode(self) -> str | None:
         return self._mode
+
+    def check_invariants(self) -> None:
+        """Sim-sanitizer hook: mode exclusivity and µ-op queue sequencing."""
+        if self.uop_cache is None:
+            assert self._mode is None, (
+                f"fetch mode {self._mode!r} with no µ-op cache configured"
+            )
+        elif self.config.ideal_uop_cache:
+            assert self._mode == STREAM, (
+                f"ideal µ-op cache left stream mode (mode={self._mode!r})"
+            )
+        else:
+            assert self._mode in (STREAM, BUILD), (
+                f"fetch mode {self._mode!r} is neither stream nor build"
+            )
+        queue = self.uop_queue
+        assert len(queue) <= self.config.frontend.uop_queue_capacity, (
+            f"µ-op queue holds {len(queue)} > capacity "
+            f"{self.config.frontend.uop_queue_capacity}"
+        )
+        # Ready cycles need not be monotonic (a build->stream switch makes
+        # younger µops ready earlier; in-order dispatch gates on the head),
+        # but the indices must be strictly sequential.
+        previous: tuple[int, int] | None = None
+        for item in queue:
+            if previous is not None:
+                assert item[0] == previous[0] + 1, (
+                    f"µ-op queue indices not sequential: {previous[0]} "
+                    f"followed by {item[0]} (duplicate/skipped µ-op)"
+                )
+            previous = item
+        if self._block is not None:
+            assert 0 <= self._offset < self._block.count, (
+                f"fetch offset {self._offset} outside current block "
+                f"{self._block!r}"
+            )
+        else:
+            assert self._offset == 0, (
+                f"fetch offset {self._offset} with no current block"
+            )

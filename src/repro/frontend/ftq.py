@@ -78,6 +78,39 @@ class FTQ:
         self._blocks.clear()
         self._occupancy = 0
 
+    def check_invariants(self) -> None:
+        """Sim-sanitizer hook: FIFO accounting and trace-order contiguity.
+
+        The BPU walks the recorded correct path linearly (wrong-path
+        fetch is not modelled), so queued blocks must partition a
+        contiguous, monotonically increasing trace-index range, and only
+        the youngest block may carry the mispredicted stall marker.
+        """
+        total = 0
+        previous_end: int | None = None
+        last = len(self._blocks) - 1
+        for position, block in enumerate(self._blocks):
+            assert block.count >= 1, f"FTQ holds an empty block {block!r}"
+            total += block.count
+            if previous_end is not None:
+                assert block.start_index == previous_end, (
+                    f"FTQ blocks not contiguous: index {previous_end} "
+                    f"followed by {block!r}"
+                )
+            previous_end = block.end_index
+            if block.mispredicted:
+                assert position == last, (
+                    f"mispredicted block {block!r} is not the FTQ tail — "
+                    f"the BPU generated past an unresolved misprediction"
+                )
+        assert total == self._occupancy, (
+            f"FTQ occupancy counter {self._occupancy} != {total} queued "
+            f"instructions"
+        )
+        assert self._occupancy <= self.capacity, (
+            f"FTQ occupancy {self._occupancy} > capacity {self.capacity}"
+        )
+
     @property
     def occupancy(self) -> int:
         return self._occupancy

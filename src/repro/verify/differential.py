@@ -1,0 +1,212 @@
+"""Differential oracle harness: timing model vs functional ground truth.
+
+The simulator replays recorded correct-path traces, so its *architectural*
+behaviour is fully known in advance: the committed instruction stream is
+the trace, in order, regardless of any timing feature.  The harness
+exploits that as a free total oracle — it replays the same synthetic CFG
+program through the full timing model under many configurations and
+asserts:
+
+* **commit-stream identity** — the retired index sequence equals the
+  trace-replay oracle (:func:`repro.verify.oracles.reference_commit_stream`);
+* **timing independence** — µ-arch knobs (UCP on/off, prefetchers, MRC,
+  idealisations, cache sizes) never change that stream;
+* **metamorphic properties** — e.g. µ-op cache hit rate is monotonic in
+  cache size (within a small tolerance: growing the set count remaps
+  entries and perturbs build/stream mode switching, so exact
+  monotonicity is provably too strict — large regressions still mean a
+  bug).
+
+Used by ``repro verify`` and the tier-1 differential tests; the fault
+harness (:mod:`repro.verify.faults`) uses the same entry points to prove
+injected bugs are caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.configs import SimConfig, UCPConfig
+from repro.core.pipeline import Simulator, SimResult
+from repro.verify.invariants import SimCheckError
+from repro.verify.oracles import reference_commit_stream
+from repro.workloads import load_workload
+
+#: Hit-rate slack (percentage points) allowed against strict monotonicity
+#: when growing the µ-op cache: set-count scaling remaps entries.
+HITRATE_MONOTONIC_TOL = 0.5
+
+
+def oracle_configs() -> dict[str, SimConfig]:
+    """The configuration spread the differential suite replays."""
+    base = SimConfig()
+    return {
+        "base": base,
+        "no-uop": base.without_uop_cache(),
+        "ideal-uop": replace(base, ideal_uop_cache=True),
+        "ucp": replace(base, ucp=UCPConfig(enabled=True)),
+        "ucp-till-l1i": replace(base, ucp=UCPConfig(enabled=True, till_l1i_only=True)),
+        "mrc": replace(base, mrc_entries=64),
+        "fnl-mma": replace(base, l1i_prefetcher="fnl_mma"),
+        "uop-16k": base.with_uop_cache_kops(16),
+    }
+
+
+def run_with_commit_capture(
+    workload: str,
+    config: SimConfig,
+    n_instructions: int,
+    check: bool | None = None,
+) -> tuple[SimResult, list[int]]:
+    """Simulate and tap the retired-index stream via the backend hook."""
+    trace = load_workload(workload, n_instructions).trace
+    sim = Simulator(trace, config, name=workload, check=check)
+    stream: list[int] = []
+    sim.backend.commit_hook = stream.append
+    result = sim.run()
+    return result, stream
+
+
+def check_commit_stream(
+    workload: str,
+    config: SimConfig,
+    n_instructions: int,
+    label: str = "",
+    check: bool | None = None,
+) -> SimResult:
+    """Assert the timing model retires exactly the trace-replay oracle."""
+    result, stream = run_with_commit_capture(
+        workload, config, n_instructions, check=check
+    )
+    expected = reference_commit_stream(n_instructions)
+    if stream != expected:
+        divergence = next(
+            (i for i, (got, want) in enumerate(zip(stream, expected)) if got != want),
+            min(len(stream), len(expected)),
+        )
+        raise SimCheckError(
+            "commit-stream-oracle",
+            f"{workload}{f'/{label}' if label else ''}",
+            result.cycles,
+            f"committed stream diverges from the trace-replay oracle at "
+            f"retire slot {divergence} "
+            f"(got {stream[divergence:divergence + 3]}, "
+            f"want {expected[divergence:divergence + 3]}; "
+            f"lengths {len(stream)} vs {len(expected)})",
+        )
+    return result
+
+
+def check_timing_independence(
+    workload: str,
+    n_instructions: int,
+    configs: dict[str, SimConfig] | None = None,
+    check: bool | None = None,
+) -> dict[str, SimResult]:
+    """Every configuration must retire the identical architectural stream.
+
+    This is the metamorphic core: enabling/disabling UCP, prefetchers,
+    the MRC, or resizing caches may change *when* instructions retire but
+    never *which* or *in what order*.
+    """
+    results: dict[str, SimResult] = {}
+    for label, config in (configs or oracle_configs()).items():
+        results[label] = check_commit_stream(
+            workload, config, n_instructions, label=label, check=check
+        )
+    return results
+
+
+def check_hitrate_monotonic(
+    workload: str,
+    n_instructions: int,
+    kops: tuple[int, ...] = (4, 8, 16),
+    tolerance: float = HITRATE_MONOTONIC_TOL,
+) -> list[float]:
+    """µ-op cache hit rate must not regress as the cache grows."""
+    trace = load_workload(workload, n_instructions).trace
+    rates: list[float] = []
+    for size in kops:
+        config = SimConfig().with_uop_cache_kops(size)
+        rates.append(Simulator(trace, config, name=workload).run().uop_hit_rate)
+    for smaller, (larger_kops, larger) in zip(rates, list(zip(kops, rates))[1:]):
+        if larger < smaller - tolerance:
+            raise SimCheckError(
+                "hitrate-monotonic",
+                workload,
+                0,
+                f"hit rate fell from {smaller:.2f}% to {larger:.2f}% when "
+                f"growing the µ-op cache to {larger_kops}Kops "
+                f"(tolerance {tolerance} points): {rates}",
+            )
+    return rates
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one ``repro verify`` differential+invariant sweep."""
+
+    workloads: tuple[str, ...]
+    n_instructions: int
+    configs: tuple[str, ...]
+    runs: int
+    cycles_checked: int
+    hitrates: dict[str, list[float]]
+
+    def render(self) -> str:
+        lines = [
+            f"verified {self.runs} runs "
+            f"({len(self.workloads)} workloads x {len(self.configs)} configs, "
+            f"{self.n_instructions} instructions) against the commit-stream "
+            f"oracle with per-cycle invariants",
+            f"invariant-checked cycles: {self.cycles_checked}",
+        ]
+        for name, rates in self.hitrates.items():
+            pretty = " -> ".join(f"{rate:.1f}%" for rate in rates)
+            lines.append(f"hit-rate monotonicity {name}: {pretty}")
+        lines.append("all invariants and oracles held")
+        return "\n".join(lines)
+
+
+def run_verification(
+    workloads: tuple[str, ...] = ("int_02", "srv_04", "fp_01"),
+    n_instructions: int = 4_000,
+    monotonic_workloads: tuple[str, ...] = ("int_02",),
+) -> VerifyReport:
+    """The full clean-model verification sweep (``repro verify``).
+
+    Raises :class:`SimCheckError` on the first violation; returns a
+    renderable report when everything holds.
+    """
+    configs = oracle_configs()
+    runs = 0
+    cycles_checked = 0
+    for workload in workloads:
+        for label, config in configs.items():
+            trace = load_workload(workload, n_instructions).trace
+            sim = Simulator(trace, config, name=workload, check=True)
+            stream: list[int] = []
+            sim.backend.commit_hook = stream.append
+            sim.run()
+            if stream != reference_commit_stream(n_instructions):
+                raise SimCheckError(
+                    "commit-stream-oracle",
+                    f"{workload}/{label}",
+                    0,
+                    "committed stream diverges from the trace-replay oracle",
+                )
+            runs += 1
+            if sim.checker is not None:
+                cycles_checked += sim.checker.cycles_checked
+    hitrates = {
+        name: check_hitrate_monotonic(name, n_instructions)
+        for name in monotonic_workloads
+    }
+    return VerifyReport(
+        workloads=workloads,
+        n_instructions=n_instructions,
+        configs=tuple(configs),
+        runs=runs,
+        cycles_checked=cycles_checked,
+        hitrates=hitrates,
+    )

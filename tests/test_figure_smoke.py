@@ -1,0 +1,31 @@
+"""One smoke test per registered paper figure/table.
+
+``tests/test_experiments.py`` exercises each driver's *semantics* at a
+small scale; this file guards the *registry path* instead: every entry in
+``experiments.registry.EXPERIMENTS`` must run end-to-end through
+``run_experiment`` (the exact code path of ``repro experiment NAME``) at a
+micro scale, and render non-empty text.  Adding a figure module without
+registering it, or breaking a driver's run/render contract, fails here.
+"""
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+#: Two workloads so geomeans/selections are non-degenerate; short traces
+#: keep the whole parametrized sweep CI-friendly.
+MICRO = Scale("micro", ("srv_04", "int_02"), 2_500)
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_runs_via_registry(name):
+    result, rendered = run_experiment(name, MICRO)
+    assert result is not None
+    assert isinstance(rendered, str)
+    assert rendered.strip(), f"{name} rendered empty output"
+
+
+def test_unknown_experiment_raises_keyerror():
+    with pytest.raises(KeyError):
+        run_experiment("fig99", MICRO)

@@ -1,0 +1,137 @@
+"""Golden-stat regression fixtures: pinned end-to-end simulator numbers.
+
+Three workloads spanning the suite's regimes (small/predictable fp_01,
+medium int_02, H2P-heavy srv_05) are simulated under the baseline and UCP
+configurations and compared against checksummed JSON fixtures in
+``tests/golden/``.  Any semantic change to the simulator shows up here as
+an explicit, reviewable diff.
+
+Regenerate after an *intentional* semantics change with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_stats.py
+
+and commit the updated fixtures (the simulator is fully deterministic, so
+regeneration is reproducible on any machine).
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.configs import SimConfig, UCPConfig
+from repro.core.pipeline import simulate
+from repro.workloads import load_workload
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+N_INSTRUCTIONS = 6_000
+
+#: (workload, config label) -> SimConfig
+CASES = {
+    ("fp_01", "base"): SimConfig(),
+    ("fp_01", "ucp"): SimConfig(ucp=UCPConfig(enabled=True)),
+    ("int_02", "base"): SimConfig(),
+    ("int_02", "ucp"): SimConfig(ucp=UCPConfig(enabled=True)),
+    ("srv_05", "base"): SimConfig(),
+    ("srv_05", "ucp"): SimConfig(ucp=UCPConfig(enabled=True)),
+}
+
+#: Comparison tolerances, explicit per stat.  The simulator is
+#: deterministic, so integers must match exactly; the float tolerances
+#: only absorb formatting (fixtures store floats rounded to 6 places).
+TOLERANCES = {
+    "cycles": 0,
+    "uops_committed": 0,
+    "uops_uop": 0,
+    "uops_decode": 0,
+    "uops_mrc": 0,
+    "cond_mispredictions": 0,
+    "mode_switches": 0,
+    "ipc": 1e-6,
+    "uop_hit_rate": 1e-6,
+    "cond_mpki": 1e-6,
+    "switch_pki": 1e-6,
+}
+
+
+def _compute_stats(workload: str, config: SimConfig) -> dict:
+    trace = load_workload(workload, N_INSTRUCTIONS).trace
+    result = simulate(trace, config, name=workload)
+    window = result.window
+    return {
+        "cycles": result.cycles,
+        "uops_committed": result.instructions,
+        "uops_uop": window.get("uops_uop", 0),
+        "uops_decode": window.get("uops_decode", 0),
+        "uops_mrc": window.get("uops_mrc", 0),
+        "cond_mispredictions": window.get("cond_mispredictions", 0),
+        "mode_switches": window.get("mode_switches", 0),
+        "ipc": round(result.ipc, 6),
+        "uop_hit_rate": round(result.uop_hit_rate, 6),
+        "cond_mpki": round(result.cond_mpki, 6),
+        "switch_pki": round(result.switch_pki, 6),
+    }
+
+
+def _digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _fixture_path(workload: str, label: str) -> Path:
+    return GOLDEN_DIR / f"{workload}_{label}.json"
+
+
+def _write_fixture(workload: str, label: str, stats: dict) -> None:
+    payload = {
+        "schema": 1,
+        "workload": workload,
+        "config": label,
+        "n_instructions": N_INSTRUCTIONS,
+        "stats": stats,
+    }
+    payload["sha256"] = _digest(
+        {key: payload[key] for key in sorted(payload) if key != "sha256"}
+    )
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    _fixture_path(workload, label).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+@pytest.mark.parametrize(("workload", "label"), sorted(CASES))
+def test_golden_stats(workload, label):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        _write_fixture(workload, label, _compute_stats(workload, CASES[(workload, label)]))
+
+    path = _fixture_path(workload, label)
+    assert path.exists(), (
+        f"missing golden fixture {path.name} — regenerate with "
+        f"REPRO_REGEN_GOLDEN=1"
+    )
+    fixture = json.loads(path.read_text())
+
+    # Integrity first: a hand-edited or truncated fixture is an error in
+    # its own right, distinct from a simulator regression.
+    body = {key: fixture[key] for key in sorted(fixture) if key != "sha256"}
+    assert _digest(body) == fixture["sha256"], (
+        f"{path.name} failed its checksum — fixture corrupted or "
+        f"hand-edited; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    assert fixture["n_instructions"] == N_INSTRUCTIONS
+
+    actual = _compute_stats(workload, CASES[(workload, label)])
+    expected = fixture["stats"]
+    assert set(actual) == set(expected) == set(TOLERANCES)
+    for stat, tolerance in TOLERANCES.items():
+        got, want = actual[stat], expected[stat]
+        if tolerance == 0:
+            assert got == want, (
+                f"{workload}/{label}: {stat} changed {want} -> {got} "
+                f"(exact-match stat; if intentional, regenerate fixtures)"
+            )
+        else:
+            assert got == pytest.approx(want, abs=tolerance), (
+                f"{workload}/{label}: {stat} changed {want} -> {got} "
+                f"(tolerance {tolerance})"
+            )

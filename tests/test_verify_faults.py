@@ -1,0 +1,70 @@
+"""Mutation-catch tests: every injected fault must be detected.
+
+This is the sanitizer's own regression suite — if an invariant or oracle
+is weakened to the point that one of these deliberate bugs slips through,
+the corresponding test fails.
+"""
+
+import pytest
+
+from repro.branch.ras import ReturnAddressStack
+from repro.caches.cache import SetAssocCache
+from repro.caches.uopcache import UopCache
+from repro.core.backend import Backend
+from repro.frontend.fetch import FetchEngine
+from repro.frontend.ftq import FTQ
+from repro.verify.faults import FAULTS, run_fault
+from repro.verify.invariants import SimCheckError
+
+
+def test_registry_has_at_least_five_faults():
+    assert len(FAULTS) >= 5
+
+
+@pytest.mark.parametrize("name", sorted(FAULTS))
+def test_fault_is_caught(name):
+    outcome = run_fault(name)
+    assert outcome.caught, outcome.render()
+    assert outcome.invariant in FAULTS[name].expected_invariants
+
+
+def test_patches_are_restored_after_runs():
+    originals = {
+        UopCache: UopCache.insert,
+        FTQ: FTQ.pop,
+        ReturnAddressStack: ReturnAddressStack.push,
+        Backend: Backend.commit,
+        FetchEngine: FetchEngine._deliver,
+        SetAssocCache: SetAssocCache.access,
+    }
+    for name in FAULTS:
+        run_fault(name)
+    assert UopCache.insert is originals[UopCache]
+    assert FTQ.pop is originals[FTQ]
+    assert ReturnAddressStack.push is originals[ReturnAddressStack]
+    assert Backend.commit is originals[Backend]
+    assert FetchEngine._deliver is originals[FetchEngine]
+    assert SetAssocCache.access is originals[SetAssocCache]
+
+
+def test_patch_restored_even_when_run_raises():
+    fault = FAULTS["ftq-leak"]
+    original = FTQ.pop
+    with pytest.raises(ZeroDivisionError):
+        with fault.inject():
+            assert FTQ.pop is not original
+            raise ZeroDivisionError
+    assert FTQ.pop is original
+
+
+def test_differential_oracle_catches_dup_without_cycle_checks():
+    """The commit-stream oracle alone (no per-cycle invariants) sees the
+    duplicated µ-op: the retired sequence stops matching trace order."""
+    from repro.core.configs import SimConfig
+    from repro.verify.differential import check_commit_stream
+
+    fault = FAULTS["fetch-dup"]
+    with fault.inject():
+        with pytest.raises(SimCheckError) as caught:
+            check_commit_stream("int_02", SimConfig(), 2_000, check=False)
+    assert caught.value.invariant == "commit-stream-oracle"
