@@ -28,21 +28,31 @@ import pytest
 
 from repro.experiments.common import FULL, QUICK
 
-OUT_DIR = Path(__file__).parent / "out"
-
-
 @pytest.fixture(scope="session")
 def scale():
     return FULL if os.environ.get("REPRO_BENCH_SCALE") == "full" else QUICK
 
 
+@pytest.fixture(scope="session")
+def bench_out_dir(tmp_path_factory) -> Path:
+    """Where rendered tables and BENCH artifacts land.
+
+    ``REPRO_BENCH_OUT`` names a directory to keep (CI sets it and uploads
+    the artifacts); unset, everything goes to a pytest-managed temp dir so
+    a plain ``pytest benchmarks/`` never dirties the working tree.
+    """
+    override = os.environ.get("REPRO_BENCH_OUT")
+    out_dir = Path(override) if override else tmp_path_factory.mktemp("bench-out")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return out_dir
+
+
 @pytest.fixture()
-def report():
-    """Print a rendered experiment table and persist it under out/."""
+def report(bench_out_dir):
+    """Print a rendered experiment table and persist it under the out dir."""
 
     def _report(name: str, text: str) -> None:
-        OUT_DIR.mkdir(exist_ok=True)
-        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        (bench_out_dir / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}\n")
 
     return _report

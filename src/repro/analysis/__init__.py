@@ -13,11 +13,16 @@
   plots for figure-style output.
 * :mod:`repro.analysis.energy` — relative frontend energy accounting
   (the µ-op cache's power story, and UCP's decode overhead).
+* :mod:`repro.analysis.profile` — component-level wall-time profiling of
+  one simulation (``repro profile`` on the command line): per-component
+  seconds summing exactly to the run's wall time, plus simulation
+  throughput (instructions and cycles per second).
 * :mod:`repro.analysis.replication` — multi-seed replication with
   Student-t confidence intervals.
 """
 
 from repro.analysis.energy import EnergyWeights, decode_overhead_pct, frontend_energy
+from repro.analysis.profile import ProfileReport, ProfileRow, profile_run
 from repro.analysis.plot import bar_chart, series_plot, sparkline
 from repro.analysis.replication import ReplicationResult, replicate_speedup
 from repro.analysis.runner import (
@@ -59,4 +64,7 @@ __all__ = [
     "series_plot",
     "replicate_speedup",
     "ReplicationResult",
+    "profile_run",
+    "ProfileReport",
+    "ProfileRow",
 ]

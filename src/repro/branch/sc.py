@@ -105,11 +105,22 @@ class StatisticalCorrector:
         tage_weight: int | None = None,
     ) -> SCPrediction:
         histories = histories or self.histories
-        indices = self._indices(pc, histories)
+        # Fused copy of _indices() + the vote loop: one pass, no method call.
+        base = pc >> 2
+        mask = self._mask
+        tables = self._tables
+        indices = []
+        append = indices.append
         lsum = 0
-        for table, index in enumerate(indices):
-            counter = self._tables[table][index]
-            lsum += 2 * counter + 1
+        shift = 3
+        for table, fold in enumerate(histories.folds):
+            value = base ^ (base >> shift)
+            if fold is not None:
+                value ^= fold.value
+            value &= mask
+            append(value)
+            lsum += 2 * tables[table][value] + 1
+            shift += 1
         weight = self.tage_weight if tage_weight is None else tage_weight
         lsum += weight if intermediate_taken else -weight
         return SCPrediction(lsum, lsum >= 0, indices)

@@ -211,13 +211,32 @@ class TAGE:
         histories = histories or self.histories
         pred = TagePrediction()
         pred.pc = pc
-        pred.indices = [self._index(pc, t, histories) for t in range(self.config.n_tables)]
-        pred.tags = [self._tag(pc, t, histories) for t in range(self.config.n_tables)]
+        # _index()/_tag() inlined across all tables: predict() runs for
+        # every conditional branch and the per-table method calls dominate
+        # its cost.
+        n_tables = self.config.n_tables
+        size_mask = self._size_mask
+        tag_mask = self._tag_mask
+        pc_bits = pc >> 2
+        path = histories.path.value & size_mask
+        index_folds = histories.index_folds
+        tag_folds_a = histories.tag_folds_a
+        tag_folds_b = histories.tag_folds_b
+        pred.indices = indices = [
+            (pc_bits ^ (pc_bits >> (t + 2)) ^ index_folds[t].value ^ (path >> (t & 3)))
+            & size_mask
+            for t in range(n_tables)
+        ]
+        pred.tags = tags = [
+            (pc_bits ^ tag_folds_a[t].value ^ (tag_folds_b[t].value << 1)) & tag_mask
+            for t in range(n_tables)
+        ]
         pred.bimodal_ctr = self.bimodal.counter(pc)
 
         hit_bank = alt_bank = None
-        for table in range(self.config.n_tables - 1, -1, -1):
-            if self._tags[table][pred.indices[table]] == pred.tags[table]:
+        tag_tables = self._tags
+        for table in range(n_tables - 1, -1, -1):
+            if tag_tables[table][indices[table]] == tags[table]:
                 if hit_bank is None:
                     hit_bank = table
                 else:

@@ -9,6 +9,13 @@ Commands
     Run one simulation and print a result report.  Flags select the
     configuration: ``--ucp`` (and its variants), ``--no-uop-cache``,
     ``--ideal-uop-cache``, ``--prefetcher``, ``--mrc``.
+``profile WORKLOAD``
+    Simulate once with component-level wall-time profiling
+    (:mod:`repro.analysis.profile`): per-component seconds summing to
+    the run's wall time, simulation throughput, idle-skip telemetry.
+    Accepts the same configuration flags as ``simulate``, plus
+    ``--json FILE`` to dump the report and ``--no-skip`` to profile
+    with idle-cycle skipping disabled.
 ``experiment NAME``
     Run one paper experiment (``fig02`` … ``fig16``, ``taba``) and print
     its table; ``--full`` uses the whole suite, ``--jobs N`` sets the
@@ -46,28 +53,24 @@ def _build_parser() -> argparse.ArgumentParser:
     commands.add_parser("workloads", help="list the built-in workload suite")
 
     sim = commands.add_parser("simulate", help="simulate one workload")
-    sim.add_argument("workload", choices=sorted(SUITE))
-    sim.add_argument("--instructions", type=int, default=20_000)
-    group = sim.add_mutually_exclusive_group()
-    group.add_argument("--no-uop-cache", action="store_true")
-    group.add_argument("--ideal-uop-cache", action="store_true")
-    sim.add_argument("--ucp", action="store_true", help="enable UCP")
-    sim.add_argument(
-        "--ucp-variant",
-        choices=["noind", "till-l1i", "shared-decoders", "ideal-btb", "tage-conf"],
-        help="UCP flavour (implies --ucp)",
-    )
-    sim.add_argument("--stop-threshold", type=int, default=500)
-    sim.add_argument(
-        "--prefetcher",
-        choices=["next_line", "fnl_mma", "fnl_mma++", "djolt", "ep", "ep++"],
-    )
-    sim.add_argument("--mrc", type=int, metavar="ENTRIES")
-    sim.add_argument("--uop-kops", type=int, choices=[4, 8, 16, 32, 64])
+    _add_config_flags(sim)
     sim.add_argument(
         "--check",
         action="store_true",
         help="run with per-cycle invariant checks (as REPRO_SIM_CHECK=1)",
+    )
+
+    profile = commands.add_parser(
+        "profile", help="simulate once with component-level wall-time profiling"
+    )
+    _add_config_flags(profile)
+    profile.add_argument(
+        "--json", metavar="FILE", help="also write the report as JSON to FILE"
+    )
+    profile.add_argument(
+        "--no-skip",
+        action="store_true",
+        help="profile with idle-cycle skipping disabled",
     )
 
     verify = commands.add_parser(
@@ -117,7 +120,30 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _simulate(args: argparse.Namespace) -> int:
+def _add_config_flags(sub: argparse.ArgumentParser) -> None:
+    """Workload + configuration flags shared by ``simulate`` and ``profile``."""
+    sub.add_argument("workload", choices=sorted(SUITE))
+    sub.add_argument("--instructions", type=int, default=20_000)
+    group = sub.add_mutually_exclusive_group()
+    group.add_argument("--no-uop-cache", action="store_true")
+    group.add_argument("--ideal-uop-cache", action="store_true")
+    sub.add_argument("--ucp", action="store_true", help="enable UCP")
+    sub.add_argument(
+        "--ucp-variant",
+        choices=["noind", "till-l1i", "shared-decoders", "ideal-btb", "tage-conf"],
+        help="UCP flavour (implies --ucp)",
+    )
+    sub.add_argument("--stop-threshold", type=int, default=500)
+    sub.add_argument(
+        "--prefetcher",
+        choices=["next_line", "fnl_mma", "fnl_mma++", "djolt", "ep", "ep++"],
+    )
+    sub.add_argument("--mrc", type=int, metavar="ENTRIES")
+    sub.add_argument("--uop-kops", type=int, choices=[4, 8, 16, 32, 64])
+
+
+def _config_from_args(args: argparse.Namespace) -> SimConfig:
+    """Build the :class:`SimConfig` selected by the shared flags."""
     config = SimConfig()
     if args.no_uop_cache:
         config = config.without_uop_cache()
@@ -142,7 +168,11 @@ def _simulate(args: argparse.Namespace) -> int:
             config,
             ucp=UCPConfig(enabled=True, stop_threshold=args.stop_threshold, **overrides),
         )
+    return config
 
+
+def _simulate(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
     trace = load_workload(args.workload, args.instructions).trace
     result = simulate(trace, config, check=True if args.check else None)
     print(f"workload            {args.workload} ({args.instructions} instructions)")
@@ -156,6 +186,23 @@ def _simulate(args: argparse.Namespace) -> int:
         print(f"UCP walks           {window.get('ucp_walks_started', 0)}")
         print(f"UCP entries         {window.get('ucp_entries_prefetched', 0)}")
         print(f"prefetch accuracy   {result.prefetch_accuracy:.1f}%")
+    return 0
+
+
+def _profile(args: argparse.Namespace) -> int:
+    from repro.analysis.profile import profile_run
+
+    config = _config_from_args(args)
+    trace = load_workload(args.workload, args.instructions).trace
+    report = profile_run(
+        trace, config, idle_skip=False if args.no_skip else None
+    )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -281,6 +328,8 @@ def main(argv: list[str] | None = None) -> int:
         return _workloads()
     if args.command == "simulate":
         return _simulate(args)
+    if args.command == "profile":
+        return _profile(args)
     if args.command == "experiment":
         return _experiment(args)
     if args.command == "verify":

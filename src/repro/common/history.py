@@ -23,7 +23,7 @@ class FoldedHistory:
     chunks, maintained in O(1) per inserted bit exactly like a hardware CSR.
     """
 
-    __slots__ = ("length", "width", "value", "_out_point")
+    __slots__ = ("length", "width", "value", "_out_point", "_mask")
 
     def __init__(self, length: int, width: int) -> None:
         if length < 1 or width < 1:
@@ -34,6 +34,7 @@ class FoldedHistory:
         # Position inside the folded register where the outgoing (oldest)
         # bit lands after `length` rotations.
         self._out_point = length % width
+        self._mask = (1 << width) - 1
 
     def update(self, new_bit: int, out_bit: int) -> None:
         """Insert ``new_bit`` and retire ``out_bit`` (the bit aged out).
@@ -43,7 +44,7 @@ class FoldedHistory:
         which the rotation carried to position ``length % width`` — is
         cancelled by XOR.
         """
-        mask = (1 << self.width) - 1
+        mask = self._mask
         rotated = ((self.value << 1) & mask) | (self.value >> (self.width - 1))
         rotated ^= new_bit & 1
         rotated ^= (out_bit & 1) << self._out_point
@@ -69,7 +70,7 @@ class GlobalHistory:
     support the checkpointing that alternate-path prediction requires.
     """
 
-    __slots__ = ("capacity", "_bits", "_folds")
+    __slots__ = ("capacity", "_bits", "_folds", "_fold_params", "_capacity_mask")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -77,6 +78,11 @@ class GlobalHistory:
         self.capacity = capacity
         self._bits = 0  # newest bit is LSB
         self._folds: list[FoldedHistory] = []
+        # Per-fold constants (fold, mask, width-1, length-1, out_point)
+        # hoisted so push() — the hottest predictor-stack function — runs
+        # the CSR rotation inline instead of through a method call per fold.
+        self._fold_params: list[tuple[FoldedHistory, int, int, int, int]] = []
+        self._capacity_mask = (1 << capacity) - 1
 
     def add_folded(self, length: int, width: int) -> FoldedHistory:
         """Register and return a folded view over the newest ``length`` bits."""
@@ -84,15 +90,26 @@ class GlobalHistory:
             raise ValueError(f"fold length {length} exceeds capacity {self.capacity}")
         fold = FoldedHistory(length, width)
         self._folds.append(fold)
+        self._fold_params.append(
+            (fold, fold._mask, width - 1, length - 1, fold._out_point)
+        )
         return fold
 
     def push(self, taken: bool) -> None:
         """Insert one direction bit (speculatively or at update time)."""
+        bits = self._bits
         new_bit = 1 if taken else 0
-        for fold in self._folds:
-            out_bit = (self._bits >> (fold.length - 1)) & 1
-            fold.update(new_bit, out_bit)
-        self._bits = ((self._bits << 1) | new_bit) & ((1 << self.capacity) - 1)
+        # Inlined FoldedHistory.update for every registered view.  No final
+        # mask is needed: the rotation is masked, and both XOR terms land
+        # strictly below bit `width` (out_point = length % width).
+        for fold, mask, width_m1, out_shift, out_point in self._fold_params:
+            value = fold.value
+            fold.value = (
+                (((value << 1) & mask) | (value >> width_m1))
+                ^ new_bit
+                ^ (((bits >> out_shift) & 1) << out_point)
+            )
+        self._bits = ((bits << 1) | new_bit) & self._capacity_mask
 
     def bit(self, index: int) -> int:
         """Return history bit ``index`` (0 == newest)."""
@@ -144,16 +161,17 @@ class PathHistory:
     histories reached through different code paths.
     """
 
-    __slots__ = ("bits", "value")
+    __slots__ = ("bits", "value", "_mask")
 
     def __init__(self, bits: int = 32) -> None:
         self.bits = bits
         self.value = 0
+        self._mask = (1 << bits) - 1
 
     def push(self, pc: int) -> None:
         # PCs are 4-byte aligned, so mix from bit 2 upward.
         mixed = ((pc >> 2) ^ (pc >> 5)) & 1
-        self.value = ((self.value << 1) ^ mixed) & ((1 << self.bits) - 1)
+        self.value = ((self.value << 1) ^ mixed) & self._mask
 
     def snapshot(self) -> int:
         return self.value

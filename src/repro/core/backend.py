@@ -25,7 +25,6 @@ from collections import deque
 
 from repro.common.stats import StatBlock
 from repro.core.configs import BackendConfig
-from repro.isa.instruction import BranchClass
 from repro.isa.trace import Trace
 
 
@@ -43,6 +42,20 @@ class Backend:
         self.config = config
         self.trace = trace
         self.stats = stats
+        # Hot-path flattening: dispatch() runs once per µ-op, so the trace
+        # columns are read as plain lists and the config scalars are bound
+        # to the instance instead of being chased through two attribute
+        # hops per dispatch.
+        self._pcs, self._classes, _takens, _targets, _next_pcs = trace.list_columns()
+        self._branch_latency = config.branch_latency
+        self._load_hash_mod = config.load_hash_mod
+        self._long_load_every = config.long_load_every
+        self._long_load_latency = config.long_load_latency
+        self._load_latency = config.load_latency
+        self._simple_latency = config.simple_latency
+        self._dep_window = config.dep_window
+        self._issue_width = config.issue_width
+        self._commit_width = config.commit_width
         #: Completion cycle per dispatched trace index.  Kept for the whole
         #: run: traces are tens of kilo-instructions, so this stays small,
         #: and it doubles as the dependency-lookup table.
@@ -65,11 +78,7 @@ class Backend:
 
     def dispatch(self, index: int, cycle: int) -> int:
         """Dispatch one µ-op; returns its completion cycle."""
-        pc = int(self.trace.pcs[index])
-        branch_class = self.trace.branch_classes[index]
-        h = _pc_hash(pc)
-
-        if branch_class != BranchClass.NOT_BRANCH:
+        if self._classes[index]:  # any class other than NOT_BRANCH (0)
             # Branches resolve a fixed depth after dispatch, independent of
             # the synthetic dependency chain: real OOO cores prioritise
             # branch resolution (the compare feeding a branch is almost
@@ -78,21 +87,30 @@ class Backend:
             # Branches also bypass the issue-width booking: they execute on
             # a dedicated branch port, so resolution is not queued behind
             # the ALU backlog.
-            completion = cycle + 1 + self.config.branch_latency
+            completion = cycle + 1 + self._branch_latency
             self._completion[index] = completion
             self._rob.append((index, completion))
             return completion
 
-        if h % self.config.load_hash_mod == 0:
-            if (h >> 8) % self.config.long_load_every == 0:
-                latency = self.config.long_load_latency  # data-cache miss
+        # _pc_hash, inlined.
+        value = self._pcs[index] >> 2
+        value ^= value >> 7
+        value ^= value >> 13
+        h = value & 0xFFFF
+
+        if h % self._load_hash_mod == 0:
+            if (h >> 8) % self._long_load_every == 0:
+                latency = self._long_load_latency  # data-cache miss
             else:
-                latency = self.config.load_latency
+                latency = self._load_latency
         else:
-            latency = self.config.simple_latency
-        distance = 1 + (h >> 4) % self.config.dep_window
+            latency = self._simple_latency
+        distance = 1 + (h >> 4) % self._dep_window
         dep_done = self._completion.get(index - distance, 0)
-        completion = self._schedule(max(cycle + 1, dep_done) + latency)
+        earliest = cycle + 1
+        if dep_done > earliest:
+            earliest = dep_done
+        completion = self._schedule(earliest + latency)
         self._completion[index] = completion
         self._rob.append((index, completion))
         return completion
@@ -100,7 +118,7 @@ class Backend:
     def _schedule(self, earliest: int) -> int:
         """Book an execution-completion slot at or after ``earliest``."""
         busy = self._exec_busy
-        width = self.config.issue_width
+        width = self._issue_width
         cycle = earliest
         while busy.get(cycle, 0) >= width:
             cycle += 1
@@ -115,12 +133,9 @@ class Backend:
         """Retire up to ``commit_width`` completed µ-ops in order."""
         retired = 0
         hook = self.commit_hook
-        while (
-            retired < self.config.commit_width
-            and self._rob
-            and self._rob[0][1] <= cycle
-        ):
-            entry = self._rob.popleft()
+        rob = self._rob
+        while retired < self._commit_width and rob and rob[0][1] <= cycle:
+            entry = rob.popleft()
             if hook is not None:
                 hook(entry[0])
             retired += 1

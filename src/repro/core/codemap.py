@@ -21,6 +21,11 @@ class CodeMap:
 
     def __init__(self) -> None:
         self._classes: dict[int, int] = {}
+        #: Bound ``dict.get`` for hot callers (the UCP walker queries one
+        #: PC per walked instruction): returns the raw branch-class int, or
+        #: None for never-seen code.  Stays valid for the map's lifetime —
+        #: the dict is mutated in place, never replaced.
+        self.get_class = self._classes.get
 
     def record(self, pc: int, branch_class: int) -> None:
         self._classes[pc] = branch_class

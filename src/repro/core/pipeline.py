@@ -20,6 +20,8 @@ trace and the deltas reported in :class:`SimResult`.
 
 from __future__ import annotations
 
+import os
+
 from repro.branch.confidence import ConfidenceStats, tage_conf_is_h2p, ucp_conf_is_h2p
 from repro.caches.hierarchy import MemoryHierarchy
 from repro.caches.uopcache import UopCache
@@ -29,7 +31,7 @@ from repro.core.codemap import CodeMap
 from repro.core.configs import SimConfig
 from repro.core.mrc import MRC
 from repro.frontend.bpu import BPU, BranchEvent
-from repro.frontend.fetch import FetchEngine
+from repro.frontend.fetch import NEVER, FetchEngine
 from repro.frontend.ftq import FTQ
 from repro.isa.trace import Trace
 from repro.prefetch.base import make_prefetcher
@@ -104,6 +106,7 @@ class Simulator:
         config: SimConfig,
         name: str | None = None,
         check: bool | None = None,
+        idle_skip: bool | None = None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -156,6 +159,20 @@ class Simulator:
         from repro.verify import make_checker
 
         self.checker = make_checker(self, enabled=check)
+        # Event-driven idle-cycle skipping.  Deliberately *not* part of
+        # SimConfig: results are bit-identical with and without it, and
+        # ``repr(config)`` feeds the result-cache key, which must not
+        # depend on a pure-performance knob.  ``idle_skip=None`` defers to
+        # REPRO_SIM_SKIP (default on; "0" disables).
+        if idle_skip is None:
+            idle_skip = os.environ.get("REPRO_SIM_SKIP", "1") != "0"
+        self.idle_skip = bool(idle_skip)
+        #: Cycles jumped over / number of jumps (perf telemetry; kept out
+        #: of the StatBlock so windowed stats stay identical either way).
+        self.skipped_cycles = 0
+        self.skip_events = 0
+        self._fetch_block_size = config.frontend.fetch_block_size
+        self._n_instructions = len(trace)
 
     # ------------------------------------------------------------------
     # Hooks
@@ -172,6 +189,77 @@ class Simulator:
     # Main loop
     # ------------------------------------------------------------------
 
+    def _idle_until(self, cycle: int) -> int | None:
+        """Event-driven idle-cycle skipping: the earliest cycle at which any
+        component may change state, or None when this cycle must execute.
+
+        The invariant is that **clock jumps never cross a schedulable
+        event**: a wake cycle is returned only when every component is
+        provably blocked until a known-latency event (ROB-head completion,
+        branch resolution, µ-op readiness, L1I fill, BPU bubble), and the
+        jump lands exactly on the earliest of those events.  Anything this
+        analysis does not fully understand — a pending L1I prefetch, an
+        active UCP walk, a component able to act right now — answers None
+        and the cycle executes normally, so skipping is bit-identical to
+        not skipping.
+        """
+        backend = self.backend
+        rob = backend._rob
+        wake = NEVER
+
+        if rob:
+            head_ready = rob[0][1]
+            if head_ready <= cycle:
+                return None  # commit can retire now
+            wake = head_ready
+
+        bpu = self.bpu
+        stalled = bpu.stalled_on
+        if stalled is not None:
+            completion = backend._completion.get(stalled)
+            if completion is not None:
+                if completion <= cycle:
+                    return None  # resolution is due
+                if completion < wake:
+                    wake = completion
+            # Not dispatched yet: resolution waits on dispatch progress,
+            # which the µ-op queue / fetch horizons below cover.
+        elif bpu.index < self._n_instructions and self.ftq.has_room(
+            self._fetch_block_size
+        ):
+            resume = bpu.resume_cycle
+            if resume <= cycle:
+                return None  # the BPU can generate now
+            if resume < wake:
+                wake = resume
+        # else: trace exhausted or FTQ full — the BPU waits on others.
+
+        queue = self.fetch.uop_queue
+        if queue and len(rob) < backend.config.rob_entries:
+            ready = queue[0][1]
+            if ready <= cycle:
+                return None  # dispatch can move µ-ops now
+            if ready < wake:
+                wake = ready
+        # A full ROB drains via commit, whose wake is set above.
+
+        if self.hierarchy._prefetch_queue:
+            return None  # one queued prefetch issues per cycle
+
+        ucp = self.ucp
+        if ucp is not None and not ucp.is_idle():
+            return None
+
+        fetch_wake = self.fetch.idle_until(cycle, self.ftq)
+        if fetch_wake is None:
+            return None
+        if fetch_wake < wake:
+            wake = fetch_wake
+
+        if wake <= cycle or wake >= NEVER:
+            return None
+        return wake
+
     def run(self) -> SimResult:
         trace = self.trace
         config = self.config
@@ -187,22 +275,37 @@ class Simulator:
         fetch = self.fetch
         bpu = self.bpu
         ftq = self.ftq
+        ucp = self.ucp
+        hierarchy = self.hierarchy
+        prefetcher = self.prefetcher
+        line_size = hierarchy.config.l1i.line_size
         queue = fetch.uop_queue
         checker = self.checker
+        idle_skip = self.idle_skip
+        stats_add = self.stats.add
+        committed = backend.committed
 
-        while backend.committed < n:
+        while committed < n:
+            if idle_skip:
+                wake = self._idle_until(cycle)
+                if wake is not None:
+                    self.skipped_cycles += wake - cycle
+                    self.skip_events += 1
+                    cycle = wake
+
             backend.commit(cycle)
+            committed = backend.committed
 
             # Branch resolution: at most one outstanding misprediction.
             stalled = bpu.stalled_on
             if stalled is not None:
-                completion = backend.completion_of(stalled)
+                completion = backend._completion.get(stalled)
                 if completion is not None and completion <= cycle:
                     bpu.redirect(cycle)
                     fetch.on_redirect(cycle, stalled + 1)
-                    if self.ucp is not None:
-                        self.ucp.on_resolution(stalled, cycle)
-                    self.stats.add("resolved_mispredictions")
+                    if ucp is not None:
+                        ucp.on_resolution(stalled, cycle)
+                    stats_add("resolved_mispredictions")
 
             dispatched = 0
             while (
@@ -217,20 +320,20 @@ class Simulator:
 
             fetch.tick(cycle, ftq)
 
-            filled = self.hierarchy.tick_prefetch(cycle)
+            filled = hierarchy.tick_prefetch(cycle)
             if filled is not None:
-                line = filled[0] // self.hierarchy.config.l1i.line_size
-                if self.prefetcher is not None:
-                    self.prefetcher.on_prefetch_fill(line, filled[1])
-                if self.ucp is not None:
-                    self.ucp.on_prefetch_fill(line, filled[1])
+                line = filled[0] // line_size
+                if prefetcher is not None:
+                    prefetcher.on_prefetch_fill(line, filled[1])
+                if ucp is not None:
+                    ucp.on_prefetch_fill(line, filled[1])
 
             bpu.generate(ftq, cycle)
 
-            if self.ucp is not None:
-                self.ucp.tick(cycle)
+            if ucp is not None:
+                ucp.tick(cycle)
 
-            if warm_snapshot is None and backend.committed >= warmup_count:
+            if warm_snapshot is None and committed >= warmup_count:
                 warm_snapshot = self.stats.as_dict()
                 warm_cycle = cycle
 
@@ -241,7 +344,7 @@ class Simulator:
             if cycle > max_cycles:
                 raise RuntimeError(
                     f"{self.name}: no forward progress "
-                    f"(committed {backend.committed}/{n} after {cycle} cycles)"
+                    f"(committed {committed}/{n} after {cycle} cycles)"
                 )
 
         if checker is not None:
@@ -273,10 +376,14 @@ def simulate(
     config: SimConfig,
     name: str | None = None,
     check: bool | None = None,
+    idle_skip: bool | None = None,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`Simulator` and run it.
 
     ``check`` forces the runtime invariant checker on (True) or off
     (False); None defers to the ``REPRO_SIM_CHECK`` environment variable.
+    ``idle_skip`` likewise forces event-driven idle-cycle skipping on or
+    off (None defers to ``REPRO_SIM_SKIP``; results are bit-identical
+    either way, only wall time changes).
     """
-    return Simulator(trace, config, name=name, check=check).run()
+    return Simulator(trace, config, name=name, check=check, idle_skip=idle_skip).run()

@@ -42,6 +42,15 @@ from repro.frontend.bpu import BranchEvent
 from repro.isa.instruction import BranchClass
 from repro.isa.trace import Trace
 
+# Raw branch-class ints for the walk loop (one comparison per walked
+# instruction; IntEnum member access is slow at that rate).
+_NOT_BRANCH = int(BranchClass.NOT_BRANCH)
+_COND_DIRECT = int(BranchClass.COND_DIRECT)
+_CALL_DIRECT = int(BranchClass.CALL_DIRECT)
+_CALL_INDIRECT = int(BranchClass.CALL_INDIRECT)
+_INDIRECT = int(BranchClass.INDIRECT)
+_RETURN = int(BranchClass.RETURN)
+
 
 class PendingEntry:
     """A walked µ-op cache entry moving through the prefetch pipeline."""
@@ -88,7 +97,11 @@ class UCPEngine:
         self._no_branch_run = 0
         self._walk_block_len = 0  # mirror of the BPU fetch-block grouping
         self._open: list[tuple[int, bool, bool, int]] = []  # building entry
+        self._open_branches = 0  # branches in the open entry (hot counter)
         self._btb_delay = 0  # 3-bit BTB bank-conflict counter
+        # Hot-path constants for the walk loop.
+        self._clasp = bool(config.uop_cache and config.uop_cache.clasp)
+        self._fetch_block_size = config.frontend.fetch_block_size
 
         # Prefetch pipeline.
         self.alt_ftq: deque[PendingEntry] = deque()
@@ -211,6 +224,20 @@ class UCPEngine:
         if self.active:
             self._tick_walk(cycle)
 
+    def is_idle(self) -> bool:
+        """True when a tick provably cannot change any UCP state — no walk
+        in progress and every queue of the prefetch pipeline is empty.
+        Used by the simulator's idle-cycle skipping; kept conservative (any
+        in-flight entry anywhere keeps the engine "busy" even if it could
+        not advance this very cycle)."""
+        return not (
+            self.active
+            or self.alt_ftq
+            or self.decode_queue
+            or self.mshr
+            or self._line_waiters
+        )
+
     # --- stage 3: alternate decoders → µ-op cache ----------------------
 
     def _tick_decode(self, cycle: int) -> None:
@@ -331,11 +358,13 @@ class UCPEngine:
     # --- stage 1: the walk ---------------------------------------------
 
     def _tick_walk(self, cycle: int) -> None:
-        codemap = self.sim.codemap
+        get_class = self.sim.codemap.get_class
+        alt_ftq = self.alt_ftq
+        ftq_limit = self.ucp.alt_ftq_entries
         for _step in range(self.ucp.walk_instructions_per_cycle):
             if not self.active:
                 return
-            if len(self.alt_ftq) + 2 > self.ucp.alt_ftq_entries:
+            if len(alt_ftq) + 2 > ftq_limit:
                 # Back-pressure: wait for tag checks to drain.  One walk
                 # step can close up to two entries (a discontinuity closes
                 # the open entry and the new µ-op may immediately close its
@@ -343,13 +372,13 @@ class UCPEngine:
                 # Alt-FTQ can never exceed its configured capacity.
                 return
             pc = self._walk_pc
-            if not codemap.known(pc):
+            branch_class = get_class(pc)
+            if branch_class is None:
                 # Unknown code == nothing in the BTB / no predecode info:
                 # the infinite-weight stop of Table I.
                 self._stop_walk("unknown_code")
                 return
-            branch_class = codemap.branch_class(pc)
-            if branch_class is BranchClass.NOT_BRANCH:
+            if branch_class == _NOT_BRANCH:
                 self._walk_straight(pc)
                 continue
             if not self._walk_branch(pc, branch_class, cycle):
@@ -362,11 +391,11 @@ class UCPEngine:
         if self._no_branch_run >= self.ucp.max_instructions_without_branch:
             self._stop_walk("no_branch_guard")
 
-    def _walk_branch(self, pc: int, branch_class: BranchClass, cycle: int) -> bool:
+    def _walk_branch(self, pc: int, branch_class: int, cycle: int) -> bool:
         """Handle one branch on the alternate path; False ends this cycle."""
         self._no_branch_run = 0
 
-        if branch_class is BranchClass.COND_DIRECT:
+        if branch_class == _COND_DIRECT:
             prediction = self.alt_bp.predict(pc, histories=self.alt_histories)
             weight = condition_weight(prediction)
             self._stop_counter += weight
@@ -394,14 +423,14 @@ class UCPEngine:
             return True
 
         # Unconditional branches.
-        if branch_class is BranchClass.RETURN:
+        if branch_class == _RETURN:
             target = self.alt_ras.pop()
             self._stop_counter += 1
             if target is None:
                 self._append_uop(pc, True, False, pc + 4)
                 self._stop_walk("ras_empty")
                 return False
-        elif branch_class.is_indirect:
+        elif branch_class == _CALL_INDIRECT or branch_class == _INDIRECT:
             if self.alt_ind is None:
                 self._append_uop(pc, True, False, pc + 4)
                 self._stop_walk("indirect_no_predictor")
@@ -421,7 +450,7 @@ class UCPEngine:
                 self._append_uop(pc, True, False, pc + 4)
                 self._stop_walk("btb_miss")
                 return False
-        if branch_class.is_call:
+        if branch_class == _CALL_DIRECT or branch_class == _CALL_INDIRECT:
             self.alt_ras.push(pc + 4)
 
         self.alt_histories.push(pc, True)
@@ -461,28 +490,31 @@ class UCPEngine:
 
     def _append_uop(self, pc: int, is_branch: bool, taken: bool, next_pc: int) -> None:
         """Group walked µ-ops exactly like the demand path's entries."""
-        clasp = bool(self.config.uop_cache and self.config.uop_cache.clasp)
-        if self._open:
-            start_pc = self._open[0][0]
-            expected = start_pc + 4 * len(self._open)
+        clasp = self._clasp
+        open_uops = self._open
+        if open_uops:
+            start_pc = open_uops[0][0]
+            expected = start_pc + 4 * len(open_uops)
             region_end = (start_pc // REGION_BYTES + 1) * REGION_BYTES
-            branches = sum(1 for u in self._open if u[1])
             if (
                 pc != expected
                 or self._walk_block_len == 0  # new fetch-block boundary
                 or (not clasp and pc >= region_end)
-                or (is_branch and branches >= 2)
+                or (is_branch and self._open_branches >= 2)
             ):
                 self._close_entry(next_pc=pc)
-        self._open.append((pc, is_branch, taken, next_pc))
+                open_uops = self._open
+        open_uops.append((pc, is_branch, taken, next_pc))
+        if is_branch:
+            self._open_branches += 1
         self._walk_block_len += 1
 
-        closes = (is_branch and taken) or len(self._open) >= 8
+        closes = (is_branch and taken) or len(open_uops) >= 8
         if not clasp:
             closes = closes or (
-                pc + 4 >= (self._open[0][0] // REGION_BYTES + 1) * REGION_BYTES
+                pc + 4 >= (open_uops[0][0] // REGION_BYTES + 1) * REGION_BYTES
             )
-        if (is_branch and taken) or self._walk_block_len >= self.config.frontend.fetch_block_size:
+        if (is_branch and taken) or self._walk_block_len >= self._fetch_block_size:
             self._walk_block_len = 0
         if closes:
             self._close_entry(next_pc=next_pc)
@@ -495,6 +527,7 @@ class UCPEngine:
             start_pc, len(self._open), next_pc, from_prefetch=True
         )
         self._open = []
+        self._open_branches = 0
         pending = PendingEntry(entry, self.trigger_index, start_pc // 64)
         self.alt_ftq.append(pending)
         self.stats.add("ucp_entries_generated")

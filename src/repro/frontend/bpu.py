@@ -29,6 +29,17 @@ from repro.frontend.ftq import FTQ, FetchBlock
 from repro.isa.instruction import BranchClass
 from repro.isa.trace import Trace
 
+# BranchClass values as plain ints: the generation loop compares one per
+# instruction, and IntEnum member access/comparison goes through
+# ``enum.__getattr__`` — measurably slow at trace scale.
+_NOT_BRANCH = int(BranchClass.NOT_BRANCH)
+_COND_DIRECT = int(BranchClass.COND_DIRECT)
+_UNCOND_DIRECT = int(BranchClass.UNCOND_DIRECT)
+_CALL_DIRECT = int(BranchClass.CALL_DIRECT)
+_CALL_INDIRECT = int(BranchClass.CALL_INDIRECT)
+_INDIRECT = int(BranchClass.INDIRECT)
+_RETURN = int(BranchClass.RETURN)
+
 
 class BranchEvent:
     """What the BPU learned about one conditional branch it processed."""
@@ -70,6 +81,12 @@ class BPU:
         self.stats = stats
         self.hierarchy = hierarchy
         self.prefetcher = prefetcher
+        # Hot-path flattening: plain-list trace columns and config scalars
+        # (generate() runs every cycle, _build_block() every instruction).
+        self._pcs, self._classes, self._takens, self._targets, _next = trace.list_columns()
+        self._n_instructions = len(trace)
+        self._blocks_per_cycle = config.frontend.bpu_blocks_per_cycle
+        self._fetch_block_size = config.frontend.fetch_block_size
         self.cond = TageScL(config.branch_predictor)
         self.btb = make_btb(config.btb)
         self.indirect = ITTAGE(config.indirect_predictor)
@@ -102,11 +119,10 @@ class BPU:
         self.btb_banks_used.clear()
         if self.stalled_on is not None or cycle < self.resume_cycle:
             return
-        frontend = self.config.frontend
-        for _ in range(frontend.bpu_blocks_per_cycle):
-            if self.index >= len(self.trace):
+        for _ in range(self._blocks_per_cycle):
+            if self.index >= self._n_instructions:
                 return
-            if not ftq.has_room(frontend.fetch_block_size):
+            if not ftq.has_room(self._fetch_block_size):
                 return
             block = self._build_block(cycle)
             self._fdp_access(block, cycle)
@@ -117,26 +133,27 @@ class BPU:
     def _build_block(self, cycle: int) -> FetchBlock:
         """Walk the predicted path (== trace path, with stalls at wrong
         predictions) until a block-terminating event."""
-        trace = self.trace
-        frontend = self.config.frontend
+        classes = self._classes
+        block_size = self._fetch_block_size
+        n_instructions = self._n_instructions
         start = self.index
         count = 0
         ends_taken = False
         mispredicted = False
 
-        while count < frontend.fetch_block_size and self.index < len(trace):
+        while count < block_size and self.index < n_instructions:
             i = self.index
-            branch_class = trace.branch_classes[i]
+            branch_class = classes[i]
             self.index += 1
             count += 1
-            if branch_class == BranchClass.NOT_BRANCH:
+            if branch_class == _NOT_BRANCH:
                 continue
 
-            pc = int(trace.pcs[i])
-            taken = bool(trace.takens[i])
-            target = int(trace.targets[i])
+            pc = self._pcs[i]
+            taken = self._takens[i]
+            target = self._targets[i]
 
-            if branch_class == BranchClass.COND_DIRECT:
+            if branch_class == _COND_DIRECT:
                 mispredicted, block_taken = self._handle_conditional(
                     i, pc, taken, target, cycle
                 )
@@ -150,21 +167,21 @@ class BPU:
             self.indirect.push_history(pc, True)
             if self.uncond_hook is not None:
                 self.uncond_hook(pc)
-            if branch_class == BranchClass.UNCOND_DIRECT:
+            if branch_class == _UNCOND_DIRECT:
                 self._direct_target(pc, BranchClass.UNCOND_DIRECT, target, cycle)
-            elif branch_class == BranchClass.CALL_DIRECT:
+            elif branch_class == _CALL_DIRECT:
                 self._direct_target(pc, BranchClass.CALL_DIRECT, target, cycle)
                 self.ras.push(pc + 4)
                 if self.context_hook is not None:
                     self.context_hook(pc, target)
-            elif branch_class == BranchClass.CALL_INDIRECT:
+            elif branch_class == _CALL_INDIRECT:
                 mispredicted = self._handle_indirect(i, pc, target)
                 self.ras.push(pc + 4)
                 if self.context_hook is not None:
                     self.context_hook(pc, target)
-            elif branch_class == BranchClass.INDIRECT:
+            elif branch_class == _INDIRECT:
                 mispredicted = self._handle_indirect(i, pc, target)
-            elif branch_class == BranchClass.RETURN:
+            elif branch_class == _RETURN:
                 predicted = self.ras.pop()
                 if predicted != target:
                     self.stats.add("ras_mispredictions")
@@ -183,12 +200,14 @@ class BPU:
         if self.hierarchy is None:
             return
         line_size = self.hierarchy.config.l1i.line_size
-        trace = self.trace
+        pcs = self._pcs
+        line_ready = block.line_ready
         for index in range(block.start_index, block.end_index):
-            line = int(trace.pcs[index]) // line_size
-            if line in block.line_ready:
+            pc = pcs[index]
+            line = pc // line_size
+            if line in line_ready:
                 continue
-            hit, ready = self.hierarchy.fetch_line(int(trace.pcs[index]), cycle)
+            hit, ready = self.hierarchy.fetch_line(pc, cycle)
             self.stats.add("l1i_demand_accesses")
             if not hit:
                 self.stats.add("l1i_demand_misses")
@@ -257,7 +276,7 @@ class BPU:
         self.indirect.update(prediction, target)
         if self.indirect_hook is not None:
             self.indirect_hook(pc, target)
-        branch_class = BranchClass(int(self.trace.branch_classes[index]))
+        branch_class = BranchClass(self._classes[index])
         self.btb.update(pc, branch_class, target)
         return mispredicted
 

@@ -34,6 +34,19 @@ from repro.isa.trace import Trace
 STREAM = "stream"
 BUILD = "build"
 
+#: Sentinel for "blocked, but on another component's progress, not on a
+#: known-latency event of our own" in :meth:`FetchEngine.idle_until`.
+NEVER = 1 << 62
+
+_NOT_BRANCH = int(BranchClass.NOT_BRANCH)
+_COND_DIRECT = int(BranchClass.COND_DIRECT)
+
+#: Precomputed µ-op source stat keys (the per-delivery f-string showed up
+#: in profiles).
+UOPS_UOP = "uops_uop"
+UOPS_DECODE = "uops_decode"
+UOPS_MRC = "uops_mrc"
+
 
 class FetchEngine:
     """Consumes FTQ blocks and produces µ-ops into the µ-op queue."""
@@ -57,6 +70,20 @@ class FetchEngine:
         self.stats = stats
         self.prefetcher = prefetcher
         self.mrc = mrc
+        # Hot-path flattening: tick() runs every cycle and _deliver() for
+        # every µ-op, so trace columns are read as plain lists and the
+        # config scalars consulted per cycle are bound once here.
+        self._pcs, self._classes, _takens, _targets, self._next_pcs = trace.list_columns()
+        frontend = config.frontend
+        self._stream_latency = frontend.stream_path_latency
+        self._build_latency = frontend.build_path_latency
+        self._decode_width = frontend.decode_width
+        self._queue_capacity = frontend.uop_queue_capacity
+        self._switch_threshold = frontend.stream_switch_threshold
+        self._line_size = hierarchy.config.l1i.line_size
+        self._ports = config.uop_cache.n_banks if config.uop_cache else 2
+        self._ideal_uop = config.ideal_uop_cache
+        self._l1i_hits_are_uop_hits = config.l1i_hits_are_uop_hits
 
         #: µ-op queue: (trace_index, ready_cycle), in order.
         self.uop_queue: deque[tuple[int, int]] = deque()
@@ -139,7 +166,7 @@ class FetchEngine:
         return length
 
     def queue_room(self) -> int:
-        return self.config.frontend.uop_queue_capacity - len(self.uop_queue)
+        return self._queue_capacity - len(self.uop_queue)
 
     # ------------------------------------------------------------------
     # Per-cycle operation
@@ -147,7 +174,8 @@ class FetchEngine:
 
     def tick(self, cycle: int, ftq: FTQ) -> None:
         self.decoders_busy_this_cycle = False
-        self.uop_banks_used.clear()
+        if self.uop_banks_used:
+            self.uop_banks_used.clear()
         if cycle < self._stall_until:
             return
         if self._block is None:
@@ -155,18 +183,18 @@ class FetchEngine:
                 return
             self._block = ftq.pop()
             self._offset = 0
-        room = self.queue_room()
+        room = self._queue_capacity - len(self.uop_queue)
         if room <= 0:
             return
 
         index = self._block.start_index + self._offset
-        pc = int(self.trace.pcs[index])
+        pc = self._pcs[index]
         remaining = self._block.count - self._offset
 
         # 1. MRC streaming after a misprediction (baseline of Section VI-F).
         if self._mrc_stream_remaining > 0:
             n = min(8, remaining, room, self._mrc_stream_remaining)
-            self._deliver(index, n, cycle + self.config.frontend.stream_path_latency, "mrc")
+            self._deliver(index, n, cycle + self._stream_latency, UOPS_MRC)
             self._mrc_stream_remaining -= n
             return
 
@@ -184,11 +212,9 @@ class FetchEngine:
             # *is* a µ-op hit under L1I-Hits).
             if self._treat_as_hit(pc):
                 n = min(8, remaining, room)
-                self._deliver(
-                    index, n, cycle + self.config.frontend.stream_path_latency, "uop"
-                )
+                self._deliver(index, n, cycle + self._stream_latency, UOPS_UOP)
                 self._consecutive_hits += 1
-                if self._consecutive_hits >= self.config.frontend.stream_switch_threshold:
+                if self._consecutive_hits >= self._switch_threshold:
                     self._switch_mode(STREAM, cycle)
                 return
             # Build mode: probe the µ-op tags at entry-aligned boundaries
@@ -196,12 +222,71 @@ class FetchEngine:
             if self._offset == 0 or pc % 32 == 0:
                 if self.uop_cache.probe(pc):
                     self._consecutive_hits += 1
-                    if self._consecutive_hits >= self.config.frontend.stream_switch_threshold:
+                    if self._consecutive_hits >= self._switch_threshold:
                         self._switch_mode(STREAM, cycle)
                         return
                 else:
                     self._consecutive_hits = 0
             self._build_step(pc, room, cycle, ftq)
+
+    # ------------------------------------------------------------------
+    # Idle-cycle skipping support
+    # ------------------------------------------------------------------
+
+    def idle_until(self, cycle: int, ftq: FTQ) -> int | None:
+        """Earliest cycle at which :meth:`tick` could change state.
+
+        Returns ``None`` when a tick *now* may change state (so the cycle
+        must be executed), ``NEVER`` when the engine is blocked on another
+        component's progress rather than on time, or a wake cycle
+        ``> cycle`` when the only thing the engine is waiting for is a
+        known-latency event (mode-switch stall, L1I fill).  Conservative by
+        construction: any situation this method does not fully understand
+        answers ``None``.
+        """
+        if cycle < self._stall_until:
+            return self._stall_until
+        block = self._block
+        if block is None:
+            # With no current block a tick would only pop the FTQ.
+            return None if ftq else NEVER
+        if len(self.uop_queue) >= self._queue_capacity:
+            return NEVER  # blocked on dispatch draining the µ-op queue
+        if self._mrc_stream_remaining > 0:
+            return None
+        if self.uop_cache is None:
+            return self._build_idle_until(cycle, block)
+        if self._mode == STREAM:
+            # Stream mode always performs lookups (and may switch modes).
+            return None
+        pc = self._pcs[block.start_index + self._offset]
+        if self._treat_as_hit(pc):
+            return None
+        if self._offset == 0 or pc % 32 == 0:
+            # The entry-aligned tag probe mutates the switch-back counter
+            # every cycle while an entry is present, and a non-zero counter
+            # would be reset by a failing probe.
+            if self._consecutive_hits or self.uop_cache.probe(pc):
+                return None
+        return self._build_idle_until(cycle, block)
+
+    def _build_idle_until(self, cycle: int, block) -> int | None:
+        """Idle horizon of the L1I + decode path for the current block."""
+        pc = self._pcs[block.start_index + self._offset]
+        builder = self._builder
+        if (
+            self._offset == 0
+            and builder is not None
+            and builder.open_entry_start is not None
+            and builder.open_entry_start != pc
+        ):
+            return None  # a tick would flush the open builder entry
+        ready = block.line_ready.get(pc // self._line_size)
+        if ready is None or ready <= cycle:
+            # Line ready (a tick delivers) or never requested (a tick
+            # issues the demand fetch) — both change state now.
+            return None
+        return ready
 
     # ------------------------------------------------------------------
     # Helpers
@@ -210,10 +295,9 @@ class FetchEngine:
     def _stream_step(self, cycle: int, ftq: FTQ, room: int) -> None:
         """Stream mode: up to two entry reads (dual-ported tags, Table II),
         eight µ-ops total, per cycle."""
-        ports = self.config.uop_cache.n_banks if self.config.uop_cache else 2
-        ready = cycle + self.config.frontend.stream_path_latency
+        ready = cycle + self._stream_latency
         budget = 8
-        for _port in range(ports):
+        for _port in range(self._ports):
             if budget <= 0 or room <= 0:
                 return
             if self._block is None:
@@ -222,10 +306,10 @@ class FetchEngine:
                 self._block = ftq.pop()
                 self._offset = 0
             index = self._block.start_index + self._offset
-            pc = int(self.trace.pcs[index])
+            pc = self._pcs[index]
             if self._treat_as_hit(pc):
                 n = min(budget, self._block.count - self._offset, room)
-                self._deliver(index, n, ready, "uop")
+                self._deliver(index, n, ready, UOPS_UOP)
                 budget -= n
                 room -= n
                 continue
@@ -244,16 +328,16 @@ class FetchEngine:
                 return
             self._mrc_pending = 0  # the µ-op cache covers this refill
             n = min(entry.n_uops, self._block.count - self._offset, room, budget)
-            self._deliver(index, n, ready, "uop")
+            self._deliver(index, n, ready, UOPS_UOP)
             budget -= n
             room -= n
 
     def _treat_as_hit(self, pc: int) -> bool:
-        if self.config.ideal_uop_cache:
+        if self._ideal_uop:
             return True
         if self._ideal_cond_remaining > 0:
             return True
-        if self.config.l1i_hits_are_uop_hits and self.hierarchy.l1i.probe(pc):
+        if self._l1i_hits_are_uop_hits and self.hierarchy.l1i.probe(pc):
             return True
         return False
 
@@ -265,24 +349,26 @@ class FetchEngine:
 
     def _build_step(self, pc: int, room: int, cycle: int, ftq: FTQ) -> None:
         """One cycle of the L1I + decoder path."""
-        line_size = self.hierarchy.config.l1i.line_size
+        line_size = self._line_size
         # Entries never straddle fetch blocks: block boundaries are path-
         # deterministic, so aligning entry starts with block starts keeps
         # later stream-mode lookups (which happen at block starts) aligned
         # with the entries built here.
+        builder = self._builder
         if (
             self._offset == 0
-            and self._builder is not None
-            and self._builder.open_entry_start is not None
-            and self._builder.open_entry_start != pc
+            and builder is not None
+            and builder.open_entry_start is not None
+            and builder.open_entry_start != pc
         ):
-            entry = self._builder.flush(next_pc=pc)
+            entry = builder.flush(next_pc=pc)
             if entry is not None:
                 self.uop_cache.insert(entry)
-        frontend = self.config.frontend
-        ready = cycle + frontend.build_path_latency
-        trace = self.trace
-        budget = frontend.decode_width
+        ready = cycle + self._build_latency
+        pcs = self._pcs
+        classes = self._classes
+        next_pcs = self._next_pcs
+        budget = self._decode_width
         # The fetch unit reads two (even/odd interleaved) lines per cycle
         # (paper Fig. 1) into a byte queue; the decoders then consume at
         # full width across line and fetch-block boundaries.
@@ -294,35 +380,34 @@ class FetchEngine:
                 break
             block = self._block
             index = block.start_index + self._offset
+            block_count = block.count
+            block_line_ready = block.line_ready
             n = 0
-            while budget - n > 0 and self._offset + n < block.count and n < room:
+            while budget - n > 0 and self._offset + n < block_count and n < room:
                 i = index + n
-                ipc = int(trace.pcs[i])
+                ipc = pcs[i]
                 line = ipc // line_size
                 if line not in lines_used:
                     if len(lines_used) >= 2:
                         break  # at most two new lines per cycle
-                    line_ready = block.line_ready.get(line)
+                    line_ready = block_line_ready.get(line)
                     if line_ready is None:
                         # Restart edge case: FDP never saw this line.
                         _hit, line_ready = self.hierarchy.fetch_line(ipc, cycle)
-                        block.line_ready[line] = line_ready
+                        block_line_ready[line] = line_ready
                     if cycle < line_ready:
                         break  # bytes not back yet
                     lines_used.add(line)
-                branch_class = int(trace.branch_classes[i])
-                self.codemap.record(ipc, branch_class)
-                if self._builder is not None:
-                    is_last = (self._offset + n) == block.count - 1
+                if builder is not None:
+                    is_last = (self._offset + n) == block_count - 1
                     predicted_taken = bool(is_last and block.ends_taken)
-                    is_branch = branch_class != BranchClass.NOT_BRANCH
-                    next_pc = int(trace.next_pcs[i])
-                    for entry in self._builder.add(ipc, is_branch, predicted_taken, next_pc):
+                    is_branch = classes[i] != _NOT_BRANCH
+                    for entry in builder.add(ipc, is_branch, predicted_taken, next_pcs[i]):
                         self.uop_cache.insert(entry)
                 n += 1
             if n == 0:
                 break
-            self._deliver(index, n, ready, "decode")
+            self._deliver(index, n, ready, UOPS_DECODE)
             delivered_any = True
             budget -= n
             room -= n
@@ -332,11 +417,11 @@ class FetchEngine:
                 break
             self._block = ftq.pop()
             self._offset = 0
-            start_pc = int(trace.pcs[self._block.start_index])
+            start_pc = pcs[self._block.start_index]
             # New block: keep entry starts aligned with block starts.
-            if self._builder is not None and self._builder.open_entry_start is not None:
-                if self._builder.open_entry_start != start_pc:
-                    entry = self._builder.flush(next_pc=start_pc)
+            if builder is not None and builder.open_entry_start is not None:
+                if builder.open_entry_start != start_pc:
+                    entry = builder.flush(next_pc=start_pc)
                     if entry is not None and self.uop_cache is not None:
                         self.uop_cache.insert(entry)
             # The µ-op tags are probed in parallel while building (paper
@@ -344,7 +429,7 @@ class FetchEngine:
             if self.uop_cache is not None and self._mode == BUILD:
                 if self.uop_cache.probe(start_pc):
                     self._consecutive_hits += 1
-                    if self._consecutive_hits >= frontend.stream_switch_threshold:
+                    if self._consecutive_hits >= self._switch_threshold:
                         self._switch_mode(STREAM, cycle)
                         break
                 else:
@@ -353,21 +438,30 @@ class FetchEngine:
         if delivered_any:
             self.decoders_busy_this_cycle = True
 
-    def _deliver(self, index: int, n: int, ready: int, source: str) -> None:
-        """Move ``n`` µ-ops starting at trace ``index`` into the µ-op queue."""
-        trace = self.trace
-        queue = self.uop_queue
-        for k in range(n):
-            i = index + k
-            queue.append((i, ready))
-            branch_class = int(trace.branch_classes[i])
-            self.codemap.record(int(trace.pcs[i]), branch_class)
-            if (
-                self._ideal_cond_remaining > 0
-                and branch_class == BranchClass.COND_DIRECT
-            ):
-                self._ideal_cond_remaining -= 1
-        self.stats.add(f"uops_{source}", n)
+    def _deliver(self, index: int, n: int, ready: int, stat_key: str) -> None:
+        """Move ``n`` µ-ops starting at trace ``index`` into the µ-op queue.
+
+        ``stat_key`` is one of the precomputed ``UOPS_*`` source counters.
+        Every delivered µ-op is recorded in the codemap here — the build
+        path relies on this single recording site (decoded instructions are
+        delivered in the same call).
+        """
+        append = self.uop_queue.append
+        record = self.codemap.record
+        pcs = self._pcs
+        classes = self._classes
+        if self._ideal_cond_remaining > 0:
+            for i in range(index, index + n):
+                append((i, ready))
+                branch_class = classes[i]
+                record(pcs[i], branch_class)
+                if self._ideal_cond_remaining > 0 and branch_class == _COND_DIRECT:
+                    self._ideal_cond_remaining -= 1
+        else:
+            for i in range(index, index + n):
+                append((i, ready))
+                record(pcs[i], classes[i])
+        self.stats.add(stat_key, n)
         self._offset += n
         if self._offset >= self._block.count:
             self._block = None

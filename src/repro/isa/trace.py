@@ -61,6 +61,26 @@ class Trace:
         self.next_pcs = np.where(
             self.takens, self.targets, self.pcs + INSTRUCTION_SIZE
         ).astype(np.int64)
+        self._list_columns: tuple[list, list, list, list, list] | None = None
+
+    def list_columns(self) -> tuple[list, list, list, list, list]:
+        """Plain-Python list views ``(pcs, branch_classes, takens, targets,
+        next_pcs)`` of the columnar arrays, materialised once per trace.
+
+        Per-element numpy indexing returns numpy scalars whose creation and
+        ``int()`` conversion dominate the simulator's per-instruction cost;
+        the hot components index these lists instead.
+        """
+        columns = self._list_columns
+        if columns is None:
+            columns = self._list_columns = (
+                self.pcs.tolist(),
+                self.branch_classes.tolist(),
+                self.takens.tolist(),
+                self.targets.tolist(),
+                self.next_pcs.tolist(),
+            )
+        return columns
 
     @classmethod
     def from_entries(cls, name: str, entries: Iterable[TraceEntry]) -> "Trace":

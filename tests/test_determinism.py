@@ -14,7 +14,12 @@ import json
 import os
 import subprocess
 import sys
+from dataclasses import replace
 from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
@@ -87,3 +92,67 @@ class TestCrossProcessDeterminism:
         b = simulate(load_workload("srv_02", 2_000).trace, SimConfig(), name="s")
         assert a.window == b.window
         assert a.cycles == b.cycles
+
+
+def _trace_columns(trace) -> tuple:
+    return (
+        trace.pcs.tobytes(),
+        trace.branch_classes.tobytes(),
+        trace.takens.tobytes(),
+        trace.targets.tobytes(),
+    )
+
+
+class TestGeneratorPropertyDeterminism:
+    """Property-based determinism of :mod:`repro.workloads.generator`.
+
+    The result cache, the golden fixtures, and the parallel engine all
+    assume a workload's trace is a pure function of its config — for
+    *every* seed, not just the suite's curated ones, and regardless of
+    process-level environment such as ``REPRO_SIM_JOBS``.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_functions=st.integers(min_value=2, max_value=12),
+        h2p=st.floats(min_value=0.0, max_value=0.3),
+    )
+    def test_trace_is_deterministic_per_seed(self, seed, n_functions, h2p):
+        from repro.workloads.generator import WorkloadConfig, generate_trace
+
+        config = WorkloadConfig(
+            name="prop",
+            seed=seed,
+            n_instructions=600,
+            n_functions=n_functions,
+            h2p_fraction=h2p,
+        )
+        first = generate_trace(config)
+        second = generate_trace(config)
+        assert _trace_columns(first) == _trace_columns(second)
+        # A different seed must not silently alias onto the same program.
+        other = generate_trace(replace(config, seed=seed + 1))
+        assert len(other) == len(first)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_trace_stable_across_sim_jobs_env(self, seed):
+        """REPRO_SIM_JOBS steers the parallel engine only — generation
+        must be bit-identical whatever the env says."""
+        from repro.workloads.generator import WorkloadConfig, generate_trace
+
+        config = WorkloadConfig(name="prop", seed=seed, n_instructions=500)
+        saved = os.environ.get("REPRO_SIM_JOBS")
+        try:
+            os.environ["REPRO_SIM_JOBS"] = "1"
+            serial = generate_trace(config)
+            os.environ["REPRO_SIM_JOBS"] = "8"
+            fanned = generate_trace(config)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_SIM_JOBS", None)
+            else:
+                os.environ["REPRO_SIM_JOBS"] = saved
+        assert _trace_columns(serial) == _trace_columns(fanned)
+        assert np.array_equal(serial.next_pcs, fanned.next_pcs)

@@ -6,12 +6,25 @@ small scale; this file guards the *registry path* instead: every entry in
 ``run_experiment`` (the exact code path of ``repro experiment NAME``) at a
 micro scale, and render non-empty text.  Adding a figure module without
 registering it, or breaking a driver's run/render contract, fails here.
+
+It also carries the idle-skip equivalence sweep: every configuration
+family the figures exercise, simulated with event-driven idle-cycle
+skipping on and off, must produce identical final stats.  The sweep
+calls :func:`simulate` directly rather than going through ``run_cached``
+— the result cache is keyed on (workload, config) only, so a cached path
+would silently collapse the two modes and make the test vacuous.
 """
+
+from dataclasses import replace
 
 import pytest
 
+from repro.core.configs import SimConfig, UCPConfig
+from repro.core.pipeline import simulate
 from repro.experiments.common import Scale
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.verify.differential import oracle_configs
+from repro.workloads import load_workload
 
 #: Two workloads so geomeans/selections are non-degenerate; short traces
 #: keep the whole parametrized sweep CI-friendly.
@@ -29,3 +42,35 @@ def test_experiment_runs_via_registry(name):
 def test_unknown_experiment_raises_keyerror():
     with pytest.raises(KeyError):
         run_experiment("fig99", MICRO)
+
+
+def _skip_sweep_configs() -> dict[str, SimConfig]:
+    """The oracle spread plus the UCP flavours the figure drivers add."""
+    configs = dict(oracle_configs())
+    base = SimConfig()
+    configs["ucp-noind"] = replace(
+        base, ucp=UCPConfig(enabled=True, use_indirect=False)
+    )
+    configs["ucp-shared-decoders"] = replace(
+        base, ucp=UCPConfig(enabled=True, shared_decoders=True)
+    )
+    configs["ucp-ideal-btb"] = replace(
+        base, ucp=UCPConfig(enabled=True, ideal_btb_banking=True)
+    )
+    configs["ucp-tage-conf"] = replace(
+        base, ucp=UCPConfig(enabled=True, confidence="tage")
+    )
+    configs["djolt"] = replace(base, l1i_prefetcher="djolt")
+    return configs
+
+
+@pytest.mark.parametrize("label", sorted(_skip_sweep_configs()))
+def test_idle_skip_equivalence(label):
+    """Skipping on vs off: identical cycles and identical final stats."""
+    config = _skip_sweep_configs()[label]
+    trace = load_workload("srv_04", 2_500).trace
+    with_skip = simulate(trace, config, name="skip-on", idle_skip=True)
+    without_skip = simulate(trace, config, name="skip-off", idle_skip=False)
+    assert with_skip.cycles == without_skip.cycles, label
+    assert with_skip.window == without_skip.window, label
+    assert with_skip.window_cycles == without_skip.window_cycles, label
