@@ -41,8 +41,13 @@ from repro.workloads.suite import load_workload
 #: the checksummed envelope format; older plain-pickle entries fail the
 #: envelope check and are discarded on first touch.  v6: UCP walk
 #: back-pressure fixed to respect the Alt-FTQ capacity exactly (an
-#: off-by-one found by the repro.verify sim sanitizer).
-CACHE_VERSION = 6
+#: off-by-one found by the repro.verify sim sanitizer).  v7: the payload
+#: is now ``(config, SimResult.to_dict())`` instead of a raw SimResult
+#: pickle — the schema-versioned dict carries the full-run totals and the
+#: interval-metrics time-series from the observability layer, and decoding
+#: goes through ``SimResult.from_dict`` so shape drift raises instead of
+#: resurrecting stale objects.
+CACHE_VERSION = 7
 
 _memory_cache: dict[str, SimResult] = {}
 
@@ -79,7 +84,9 @@ def _entry_path(key: str) -> Path:
 
 
 def _encode_entry(key: str, result: SimResult) -> bytes:
-    payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = pickle.dumps(
+        (result.config, result.to_dict()), protocol=pickle.HIGHEST_PROTOCOL
+    )
     digest = hashlib.sha256(payload).hexdigest()
     return pickle.dumps(
         (CACHE_VERSION, key, digest, payload), protocol=pickle.HIGHEST_PROTOCOL
@@ -95,10 +102,10 @@ def _decode_entry(key: str, raw: bytes) -> SimResult:
         raise ValueError(f"cache key mismatch: {stored_key} != {key}")
     if hashlib.sha256(payload).hexdigest() != digest:
         raise ValueError("cache payload checksum mismatch")
-    result = pickle.loads(payload)
-    if not isinstance(result, SimResult):
-        raise ValueError(f"cache payload is {type(result).__name__}, not SimResult")
-    return result
+    config, state = pickle.loads(payload)
+    if not isinstance(config, SimConfig):
+        raise ValueError(f"cache payload config is {type(config).__name__}, not SimConfig")
+    return SimResult.from_dict(state, config)
 
 
 def _load_disk(key: str) -> SimResult | None:

@@ -82,6 +82,8 @@ class UopCache:
         self._n_sets = self.config.n_sets
         self._sets: list[dict[int, UopCacheEntry]] = [dict() for _ in range(self._n_sets)]
         self.stats = StatBlock("uopcache")
+        #: repro.observe event bus; None keeps every emit a pointer test.
+        self.observer = None
 
     def _set_index(self, pc: int) -> int:
         return (pc // REGION_BYTES) % self._n_sets
@@ -98,8 +100,13 @@ class UopCache:
             self.stats.add("lookup_misses")
             return None
         self.stats.add("lookup_hits")
+        observer = self.observer
         if entry.from_prefetch and not entry.used:
             self.stats.add("prefetched_entries_used")
+            if observer is not None:
+                observer.emit("ucp_useful_fill", pc=pc, n_uops=entry.n_uops)
+        if observer is not None:
+            observer.emit("uop_hit", pc=pc, n_uops=entry.n_uops)
         entry.used = True
         del entries[pc]
         entries[pc] = entry
@@ -123,10 +130,24 @@ class UopCache:
             self.stats.add("evictions")
             if victim.from_prefetch and not victim.used:
                 self.stats.add("prefetched_entries_evicted_unused")
+            if self.observer is not None:
+                self.observer.emit(
+                    "uop_evict",
+                    pc=victim.start_pc,
+                    from_prefetch=victim.from_prefetch,
+                    used=victim.used,
+                )
         entries[entry.start_pc] = entry
         self.stats.add("insertions")
         if entry.from_prefetch:
             self.stats.add("prefetch_insertions")
+        if self.observer is not None:
+            self.observer.emit(
+                "uop_fill",
+                pc=entry.start_pc,
+                n_uops=entry.n_uops,
+                from_prefetch=entry.from_prefetch,
+            )
         return victim
 
     def invalidate_line(self, line_addr: int, line_size: int = 64) -> int:

@@ -16,6 +16,16 @@ Commands
     Accepts the same configuration flags as ``simulate``, plus
     ``--json FILE`` to dump the report and ``--no-skip`` to profile
     with idle-cycle skipping disabled.
+``trace WORKLOAD``
+    Simulate once with the :mod:`repro.observe` event bus on and write
+    the pipeline trace to disk — ``--format perfetto`` (default; open in
+    https://ui.perfetto.dev) or ``--format jsonl``.  Prints the
+    stall-cycle taxonomy afterwards.  Bare output filenames land in
+    ``$REPRO_BENCH_OUT`` when it is set.
+``metrics WORKLOAD``
+    Simulate once with interval metrics sampling (``--interval N``
+    cycles) and print the IPC / hit-rate / MPKI time-series plus the
+    stall-cycle taxonomy; ``--json FILE`` dumps both.
 ``experiment NAME``
     Run one paper experiment (``fig02`` … ``fig16``, ``taba``) and print
     its table; ``--full`` uses the whole suite, ``--jobs N`` sets the
@@ -58,6 +68,54 @@ def _build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="run with per-cycle invariant checks (as REPRO_SIM_CHECK=1)",
+    )
+    sim.add_argument(
+        "--trace",
+        action="store_true",
+        help="run with the observe event bus on (as REPRO_SIM_TRACE=1) "
+        "and print the stall-cycle taxonomy after the report",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="simulate once and write a pipeline event trace"
+    )
+    _add_config_flags(trace)
+    trace.add_argument(
+        "--format",
+        choices=["perfetto", "jsonl"],
+        default="perfetto",
+        help="trace file format (default: perfetto, for ui.perfetto.dev)",
+    )
+    trace.add_argument(
+        "--output",
+        metavar="FILE",
+        help="output path (default: <workload>.trace.json / .jsonl; bare "
+        "names land in $REPRO_BENCH_OUT when set)",
+    )
+    trace.add_argument(
+        "--interval",
+        type=int,
+        metavar="N",
+        help="interval-metrics window in cycles (0 disables counter tracks)",
+    )
+    trace.add_argument(
+        "--check",
+        action="store_true",
+        help="also arm the sim sanitizer (enforces the taxonomy partition)",
+    )
+
+    metrics = commands.add_parser(
+        "metrics", help="simulate once and print interval metrics + taxonomy"
+    )
+    _add_config_flags(metrics)
+    metrics.add_argument(
+        "--interval",
+        type=int,
+        metavar="N",
+        help="sampling window in cycles (default: REPRO_SIM_INTERVAL or 1024)",
+    )
+    metrics.add_argument(
+        "--json", metavar="FILE", help="also write samples + taxonomy as JSON"
     )
 
     profile = commands.add_parser(
@@ -172,9 +230,17 @@ def _config_from_args(args: argparse.Namespace) -> SimConfig:
 
 
 def _simulate(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import Simulator
+
     config = _config_from_args(args)
     trace = load_workload(args.workload, args.instructions).trace
-    result = simulate(trace, config, check=True if args.check else None)
+    sim = Simulator(
+        trace,
+        config,
+        check=True if args.check else None,
+        observe=True if args.trace else None,
+    )
+    result = sim.run()
     print(f"workload            {args.workload} ({args.instructions} instructions)")
     print(f"IPC                 {result.ipc:.4f}")
     print(f"cycles              {result.cycles}")
@@ -186,6 +252,90 @@ def _simulate(args: argparse.Namespace) -> int:
         print(f"UCP walks           {window.get('ucp_walks_started', 0)}")
         print(f"UCP entries         {window.get('ucp_entries_prefetched', 0)}")
         print(f"prefetch accuracy   {result.prefetch_accuracy:.1f}%")
+    if sim.observer is not None:
+        print()
+        print(sim.observer.taxonomy.render())
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    from repro.common.output import resolve_output_path
+    from repro.core.pipeline import Simulator
+    from repro.observe import JsonlSink, PerfettoSink
+
+    config = _config_from_args(args)
+    trace = load_workload(args.workload, args.instructions).trace
+    sim = Simulator(
+        trace,
+        config,
+        check=True if args.check else None,
+        observe=True,
+        interval=args.interval,
+    )
+    result = sim.run()
+    observer = sim.observer
+
+    suffix = ".trace.json" if args.format == "perfetto" else ".jsonl"
+    path = resolve_output_path(args.output or f"{args.workload}{suffix}")
+    if args.format == "perfetto":
+        written = PerfettoSink(path).write(observer, intervals=result.intervals)
+        print(f"wrote {written} trace events to {path} (open in ui.perfetto.dev)")
+    else:
+        written = JsonlSink(path).write(observer, result=result)
+        print(f"wrote {written} trace events to {path}")
+    print()
+    print(observer.taxonomy.render())
+    return 0
+
+
+def _metrics(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.common.output import resolve_output_path
+    from repro.core.pipeline import Simulator
+    from repro.observe.metrics import DEFAULT_INTERVAL
+
+    config = _config_from_args(args)
+    trace = load_workload(args.workload, args.instructions).trace
+    interval = args.interval if args.interval is not None else None
+    sim = Simulator(trace, config, observe=True, interval=interval)
+    result = sim.run()
+
+    samples = result.intervals
+    window = args.interval if args.interval else DEFAULT_INTERVAL
+    rows = [
+        (
+            sample["cycle"],
+            sample["instructions"],
+            f"{sample['ipc']:.3f}",
+            f"{sample['uop_hit_rate']:.1f}%",
+            f"{sample['cond_mpki']:.2f}",
+            f"{sample['ucp_accuracy']:.1f}%",
+        )
+        for sample in samples
+    ]
+    print(
+        format_table(
+            f"{args.workload}: interval metrics (every {window} cycles)",
+            ["cycle", "insts", "IPC", "uop hit", "MPKI", "UCP acc"],
+            rows,
+        )
+    )
+    print()
+    print(sim.observer.taxonomy.render())
+    if args.json:
+        import json
+
+        path = resolve_output_path(args.json)
+        payload = {
+            "workload": args.workload,
+            "instructions": args.instructions,
+            "intervals": samples,
+            "taxonomy": sim.observer.taxonomy.as_dict(),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {path}")
     return 0
 
 
@@ -199,10 +349,13 @@ def _profile(args: argparse.Namespace) -> int:
     )
     print(report.render())
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
+        from repro.common.output import resolve_output_path
+
+        path = resolve_output_path(args.json)
+        with open(path, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
             handle.write("\n")
-        print(f"\nwrote {args.json}")
+        print(f"\nwrote {path}")
     return 0
 
 
@@ -330,6 +483,10 @@ def main(argv: list[str] | None = None) -> int:
         return _simulate(args)
     if args.command == "profile":
         return _profile(args)
+    if args.command == "trace":
+        return _trace(args)
+    if args.command == "metrics":
+        return _metrics(args)
     if args.command == "experiment":
         return _experiment(args)
     if args.command == "verify":

@@ -8,6 +8,7 @@ with folded (CSR) views, LRU replacement state, and statistics helpers.
 from repro.common.counters import SaturatingCounter, SignedSaturatingCounter
 from repro.common.history import FoldedHistory, GlobalHistory
 from repro.common.lru import LRUSet
+from repro.common.output import resolve_output_path
 from repro.common.stats import StatBlock, amean, geomean, percent
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "amean",
     "geomean",
     "percent",
+    "resolve_output_path",
 ]

@@ -1,0 +1,38 @@
+"""Shared output-path resolution for artifact-writing commands.
+
+Every command that writes a file a human asked for by bare name
+(``repro profile --json``, ``repro trace``, ``repro metrics --json``)
+routes the name through :func:`resolve_output_path`, so one environment
+variable — ``REPRO_BENCH_OUT``, the same one the benchmark harness uses —
+redirects all of them into a collected artifact directory (CI uploads
+that directory wholesale).
+
+The rules are deliberately small:
+
+* a bare filename (no directory component) lands in ``$REPRO_BENCH_OUT``
+  when the variable is set (the directory is created), else in the CWD;
+* anything with a directory component — absolute or relative — is taken
+  literally: an explicit path is an explicit instruction.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Environment variable naming the shared artifact directory.
+OUT_ENV = "REPRO_BENCH_OUT"
+
+
+def resolve_output_path(name: str | os.PathLike) -> Path:
+    """Resolve where an output artifact named ``name`` should be written."""
+    path = Path(name)
+    if path.name != str(name):
+        # Caller gave a directory component (or an absolute path): honour it.
+        return path
+    out = os.environ.get(OUT_ENV, "")
+    if not out:
+        return path
+    directory = Path(out)
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / path

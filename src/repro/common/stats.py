@@ -130,6 +130,36 @@ class StatBlock:
     def as_dict(self) -> dict[str, int]:
         return dict(self._counters)
 
+    #: Schema version of the :meth:`to_dict` export.
+    SCHEMA = 1
+
+    def to_dict(self) -> dict:
+        """Stable schema export: ``{"schema", "name", "counters"}``.
+
+        This is the one serialization format for counters — the result
+        cache envelope, the interval-metrics emitter and the CLI JSON
+        dumps all go through it, so on-disk artifacts stay comparable
+        across versions (the schema number gates future shape changes).
+        """
+        return {
+            "schema": self.SCHEMA,
+            "name": self.name,
+            "counters": dict(self._counters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StatBlock":
+        """Rebuild a block from a :meth:`to_dict` export; validates shape."""
+        if not isinstance(data, dict) or data.get("schema") != cls.SCHEMA:
+            raise ValueError(f"not a StatBlock export (schema {cls.SCHEMA}): {data!r}")
+        block = cls(data.get("name", ""))
+        counters = data.get("counters")
+        if not isinstance(counters, dict):
+            raise ValueError("StatBlock export missing 'counters' mapping")
+        for key, value in counters.items():
+            block._counters[key] = value
+        return block
+
     def merge(self, other: "StatBlock", prefix: str = "") -> None:
         """Fold another block's counters into this one."""
         for key, value in other._counters.items():

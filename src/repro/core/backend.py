@@ -68,6 +68,10 @@ class Backend:
         #: Optional callback invoked with each retired trace index, in
         #: commit order — the differential harness's commit-stream tap.
         self.commit_hook = None
+        #: repro.observe event bus; the observer reads ROB state through
+        #: the public accessors below and emits rob_full/rob_drain
+        #: transition events on the backend timeline lane.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -75,6 +79,11 @@ class Backend:
 
     def rob_has_room(self) -> bool:
         return len(self._rob) < self.config.rob_entries
+
+    @property
+    def rob_full(self) -> bool:
+        """The frontend-visible backpressure condition (stall taxonomy)."""
+        return len(self._rob) >= self.config.rob_entries
 
     def dispatch(self, index: int, cycle: int) -> int:
         """Dispatch one µ-op; returns its completion cycle."""

@@ -34,12 +34,16 @@ from repro.frontend.bpu import BPU, BranchEvent
 from repro.frontend.fetch import NEVER, FetchEngine
 from repro.frontend.ftq import FTQ
 from repro.isa.trace import Trace
+from repro.observe.metrics import NO_SAMPLE
 from repro.prefetch.base import make_prefetcher
 from repro.prefetch.djolt import DJoltPrefetcher
 
 
 class SimResult:
     """Outcome of one simulation: IPC plus the measured-window counters."""
+
+    #: Schema version of the :meth:`to_dict` export (the cache payload).
+    SCHEMA = 1
 
     def __init__(
         self,
@@ -51,6 +55,8 @@ class SimResult:
         window_instructions: int,
         window_cycles: int,
         confidence: dict[str, ConfidenceStats],
+        totals: StatBlock | None = None,
+        intervals: list[dict] | None = None,
     ) -> None:
         self.name = name
         self.config = config
@@ -60,6 +66,11 @@ class SimResult:
         self.window_instructions = window_instructions
         self.window_cycles = window_cycles
         self.confidence = confidence
+        #: Full-run counters (not warm-up-windowed); None for results built
+        #: before the observability layer existed.
+        self.totals = totals
+        #: Interval-metrics time-series (see :mod:`repro.observe.metrics`).
+        self.intervals = intervals if intervals is not None else []
 
     @property
     def ipc(self) -> float:
@@ -90,6 +101,49 @@ class SimResult:
         timely = self.window.get("ucp_entries_timely", 0)
         return percent(timely, issued)
 
+    def to_dict(self) -> dict:
+        """Stable export of everything except the config (which is a frozen
+        dataclass and travels separately — e.g. pickled next to this dict
+        in the result-cache envelope)."""
+        return {
+            "schema": self.SCHEMA,
+            "name": self.name,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "window": dict(self.window),
+            "window_instructions": self.window_instructions,
+            "window_cycles": self.window_cycles,
+            "confidence": {
+                name: stats.stats.to_dict() for name, stats in self.confidence.items()
+            },
+            "totals": self.totals.to_dict() if self.totals is not None else None,
+            "intervals": list(self.intervals),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, config: SimConfig) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict`; raises on shape mismatch."""
+        if not isinstance(data, dict) or data.get("schema") != cls.SCHEMA:
+            raise ValueError(f"not a SimResult export (schema {cls.SCHEMA})")
+        confidence: dict[str, ConfidenceStats] = {}
+        for name, block in data["confidence"].items():
+            stats = ConfidenceStats(name)
+            stats.stats = StatBlock.from_dict(block)
+            confidence[name] = stats
+        totals = data.get("totals")
+        return cls(
+            name=data["name"],
+            config=config,
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            window=dict(data["window"]),
+            window_instructions=data["window_instructions"],
+            window_cycles=data["window_cycles"],
+            confidence=confidence,
+            totals=StatBlock.from_dict(totals) if totals is not None else None,
+            intervals=list(data.get("intervals", [])),
+        )
+
     def __repr__(self) -> str:
         return f"SimResult({self.name!r}, IPC={self.ipc:.3f})"
 
@@ -107,6 +161,8 @@ class Simulator:
         name: str | None = None,
         check: bool | None = None,
         idle_skip: bool | None = None,
+        observe: bool | None = None,
+        interval: int | None = None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -159,6 +215,18 @@ class Simulator:
         from repro.verify import make_checker
 
         self.checker = make_checker(self, enabled=check)
+        # Observability (repro.observe): the event bus + stall taxonomy is
+        # None unless REPRO_SIM_TRACE is set or ``observe=True`` — gated
+        # exactly like the sanitizer, one pointer test per hook site.
+        # Interval metrics are cheap enough to stay on by default (one
+        # integer compare per cycle); ``interval=0`` or
+        # REPRO_SIM_INTERVAL=0 disables them.  Neither knob lives in
+        # SimConfig: both are purely observational and must not perturb
+        # the result-cache key.
+        from repro.observe import make_interval_recorder, make_observer
+
+        self.observer = make_observer(self, enabled=observe)
+        self.intervals = make_interval_recorder(self.stats, interval)
         # Event-driven idle-cycle skipping.  Deliberately *not* part of
         # SimConfig: results are bit-identical with and without it, and
         # ``repr(config)`` feeds the result-cache key, which must not
@@ -281,6 +349,11 @@ class Simulator:
         line_size = hierarchy.config.l1i.line_size
         queue = fetch.uop_queue
         checker = self.checker
+        observer = self.observer
+        intervals = self.intervals
+        # Hoisted interval boundary: one int compare per cycle when
+        # sampling is on, and a never-true compare when it is off.
+        next_sample = intervals.next_cycle if intervals is not None else NO_SAMPLE
         idle_skip = self.idle_skip
         stats_add = self.stats.add
         committed = backend.committed
@@ -289,9 +362,21 @@ class Simulator:
             if idle_skip:
                 wake = self._idle_until(cycle)
                 if wake is not None:
+                    if observer is not None:
+                        observer.on_skip(cycle, wake)
                     self.skipped_cycles += wake - cycle
                     self.skip_events += 1
                     cycle = wake
+
+            if cycle >= next_sample:
+                # Sample at interval boundaries with pre-tick state: after
+                # an idle-skip jump the counters are provably unchanged
+                # since the skipped boundaries, so the series is identical
+                # with skipping on or off.
+                next_sample = intervals.catch_up(cycle, committed)
+
+            if observer is not None:
+                observer.begin_cycle(cycle)
 
             backend.commit(cycle)
             committed = backend.committed
@@ -305,6 +390,8 @@ class Simulator:
                     fetch.on_redirect(cycle, stalled + 1)
                     if ucp is not None:
                         ucp.on_resolution(stalled, cycle)
+                    if observer is not None:
+                        observer.on_resolve(stalled)
                     stats_add("resolved_mispredictions")
 
             dispatched = 0
@@ -340,6 +427,9 @@ class Simulator:
             if checker is not None:
                 checker.on_cycle(cycle)
 
+            if observer is not None:
+                observer.end_cycle(cycle)
+
             cycle += 1
             if cycle > max_cycles:
                 raise RuntimeError(
@@ -349,6 +439,10 @@ class Simulator:
 
         if checker is not None:
             checker.on_finish(cycle)
+        if observer is not None:
+            observer.on_finish(cycle)
+        if intervals is not None:
+            intervals.finish(cycle, committed)
 
         if warm_snapshot is None:  # degenerate warmup fractions
             warm_snapshot = {}
@@ -368,6 +462,8 @@ class Simulator:
             window_instructions=n - warmup_count,
             window_cycles=cycle - warm_cycle,
             confidence=self.confidence,
+            totals=self.stats,
+            intervals=self.intervals.samples if self.intervals is not None else [],
         )
 
 
@@ -377,6 +473,8 @@ def simulate(
     name: str | None = None,
     check: bool | None = None,
     idle_skip: bool | None = None,
+    observe: bool | None = None,
+    interval: int | None = None,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`Simulator` and run it.
 
@@ -384,6 +482,18 @@ def simulate(
     (False); None defers to the ``REPRO_SIM_CHECK`` environment variable.
     ``idle_skip`` likewise forces event-driven idle-cycle skipping on or
     off (None defers to ``REPRO_SIM_SKIP``; results are bit-identical
-    either way, only wall time changes).
+    either way, only wall time changes).  ``observe`` forces the
+    :mod:`repro.observe` event bus on or off (None defers to
+    ``REPRO_SIM_TRACE``; results are bit-identical either way), and
+    ``interval`` overrides the interval-metrics window in cycles (0
+    disables sampling, None defers to ``REPRO_SIM_INTERVAL``).
     """
-    return Simulator(trace, config, name=name, check=check, idle_skip=idle_skip).run()
+    return Simulator(
+        trace,
+        config,
+        name=name,
+        check=check,
+        idle_skip=idle_skip,
+        observe=observe,
+        interval=interval,
+    ).run()

@@ -109,6 +109,9 @@ class UCPEngine:
         self.decode_queue: deque[PendingEntry] = deque()
         self._line_waiters: dict[int, list[PendingEntry]] = {}
 
+        #: repro.observe event bus; None keeps every emit a pointer test.
+        self.observer = None
+
         if self.ucp.confidence == "ucp":
             self._is_h2p = ucp_conf_is_h2p
         elif self.ucp.confidence == "tage":
@@ -192,6 +195,13 @@ class UCPEngine:
         self._walk_block_len = 0
         self._btb_delay = 0
         self.stats.add("ucp_walks_started")
+        if self.observer is not None:
+            self.observer.emit(
+                "ucp_trigger",
+                pc=event.pc,
+                index=event.index,
+                alt_taken=self.trigger_alt_taken,
+            )
 
         # Resynchronise the alternate history: predicted-path history plus
         # the H2P branch taken in the *opposite* direction.
@@ -283,9 +293,18 @@ class UCPEngine:
         self.sim.uop_cache.insert(pending.entry)
         self.stats.add("ucp_entries_prefetched")
         completion = self.sim.backend.completion_of(pending.trigger_index)
-        if completion is None or completion >= cycle:
+        timely = completion is None or completion >= cycle
+        if timely:
             # Inserted before the triggering H2P instance resolved.
             self.stats.add("ucp_entries_timely")
+        if self.observer is not None:
+            self.observer.emit(
+                "ucp_alt_fill",
+                pc=pending.entry.start_pc,
+                n_uops=pending.entry.n_uops,
+                trigger_index=pending.trigger_index,
+                timely=timely,
+            )
 
     # --- stage 2: tag check, MSHR, L1I prefetch ------------------------
 

@@ -109,6 +109,8 @@ class BPU:
         self.indirect_hook: Callable[[int, int], None] | None = None
         #: BTB banks touched by demand lookups this cycle (UCP conflicts).
         self.btb_banks_used: set[int] = set()
+        #: repro.observe event bus; None keeps every emit a pointer test.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # Per-cycle generation
@@ -187,6 +189,8 @@ class BPU:
                     self.stats.add("ras_mispredictions")
                     mispredicted = True
                     self.stalled_on = i
+                    if self.observer is not None:
+                        self.observer.on_mispredict(i, pc, "return")
                 if self.context_hook is not None:
                     self.context_hook(pc, target)
             ends_taken = not mispredicted
@@ -239,6 +243,8 @@ class BPU:
         if direction_wrong:
             self.stats.add("cond_mispredictions")
             self.stalled_on = index
+            if self.observer is not None:
+                self.observer.on_mispredict(index, pc, "cond")
         elif taken:
             # Correctly predicted taken: the target must come from the BTB.
             if btb_entry is None:
@@ -273,6 +279,8 @@ class BPU:
         if mispredicted:
             self.stats.add("indirect_mispredictions")
             self.stalled_on = index
+            if self.observer is not None:
+                self.observer.on_mispredict(index, pc, "indirect")
         self.indirect.update(prediction, target)
         if self.indirect_hook is not None:
             self.indirect_hook(pc, target)

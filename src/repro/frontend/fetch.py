@@ -112,6 +112,8 @@ class FetchEngine:
         self.uop_banks_used: set[int] = set()
         #: True between a redirect and the first µ-op cache lookup after it.
         self._after_redirect = False
+        #: repro.observe event bus; None keeps every emit a pointer test.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # External events
@@ -346,6 +348,9 @@ class FetchEngine:
         self._consecutive_hits = 0
         self._stall_until = cycle + self.config.frontend.mode_switch_penalty
         self.stats.add("mode_switches")
+        observer = self.observer
+        if observer is not None:
+            observer.emit("fetch_mode_switch", to=mode)
 
     def _build_step(self, pc: int, room: int, cycle: int, ftq: FTQ) -> None:
         """One cycle of the L1I + decoder path."""

@@ -56,6 +56,8 @@ class FTQ:
         self.capacity = capacity
         self._blocks: deque[FetchBlock] = deque()
         self._occupancy = 0
+        #: repro.observe event bus; None keeps every emit a pointer test.
+        self.observer = None
 
     def has_room(self, count: int = 1) -> bool:
         return self._occupancy + count <= self.capacity
@@ -65,6 +67,15 @@ class FTQ:
             raise OverflowError("FTQ overflow — caller must check has_room")
         self._blocks.append(block)
         self._occupancy += block.count
+        observer = self.observer
+        if observer is not None:
+            observer.emit(
+                "ftq_enqueue",
+                start_index=block.start_index,
+                count=block.count,
+                ends_taken=block.ends_taken,
+                mispredicted=block.mispredicted,
+            )
 
     def head(self) -> FetchBlock | None:
         return self._blocks[0] if self._blocks else None
@@ -75,6 +86,11 @@ class FTQ:
         return block
 
     def clear(self) -> None:
+        observer = self.observer
+        if observer is not None and self._blocks:
+            observer.emit(
+                "ftq_squash", blocks=len(self._blocks), instructions=self._occupancy
+            )
         self._blocks.clear()
         self._occupancy = 0
 

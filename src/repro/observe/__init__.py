@@ -1,0 +1,76 @@
+"""``repro.observe``: zero-cost-when-off simulator instrumentation.
+
+Three pillars (see ``docs/OBSERVABILITY.md``):
+
+* an **event bus** (:mod:`repro.observe.observer`) collecting the typed
+  pipeline events of :mod:`repro.observe.events` — fetch-mode switches,
+  µ-op cache fills/evictions/hits, FTQ traffic, branch mispredicts and
+  resolutions, UCP triggers and alternate-path fills — with JSONL and
+  Chrome/Perfetto sinks (:mod:`repro.observe.sinks`);
+* **interval metrics** (:mod:`repro.observe.metrics`): IPC, µ-op cache
+  hit rate, MPKI and UCP accuracy/coverage time-series sampled every N
+  cycles and carried in ``SimResult.intervals``;
+* a **stall-cycle taxonomy** (:mod:`repro.observe.taxonomy`): every cycle
+  classified into exactly one bucket, with the partition invariant
+  enforced under ``REPRO_SIM_CHECK`` and per-PC attribution tables.
+
+Gating follows the PR 2 sanitizer pattern exactly: ``make_observer``
+returns None unless ``REPRO_SIM_TRACE`` is set (or the caller forces
+``enabled=True``), and every hook site in the pipeline pays a single
+pointer test when tracing is off.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.observe.events import EVENT_CATALOG, LANES, TraceEvent  # noqa: F401
+from repro.observe.metrics import (  # noqa: F401
+    DEFAULT_INTERVAL,
+    IntervalRecorder,
+    interval_cycles,
+    make_interval_recorder,
+)
+from repro.observe.observer import Observer
+from repro.observe.sinks import (  # noqa: F401
+    JsonlSink,
+    PerfettoSink,
+    load_jsonl,
+    load_perfetto,
+)
+from repro.observe.taxonomy import (  # noqa: F401
+    BUCKETS,
+    StallTaxonomy,
+    classify_stall,
+)
+
+
+def trace_level() -> int:
+    """Configured tracing level: 0 = off, 1 = on.
+
+    Read from ``REPRO_SIM_TRACE`` at call time (the same contract as
+    ``repro.verify.check_level``) so tests and the CLI can flip tracing
+    without re-importing anything.  Any unparsable value counts as on —
+    a user who set the variable wanted tracing.
+    """
+    raw = os.environ.get("REPRO_SIM_TRACE", "")
+    if raw in ("", "0"):
+        return 0
+    return 1
+
+
+def tracing_enabled() -> bool:
+    return trace_level() > 0
+
+
+def make_observer(sim, enabled: bool | None = None) -> Observer | None:
+    """Build an :class:`Observer` for ``sim``, or None when tracing is off.
+
+    ``enabled`` overrides the environment: True forces an observer, False
+    forces none, None defers to ``REPRO_SIM_TRACE``.
+    """
+    if enabled is False:
+        return None
+    if not enabled and trace_level() == 0:
+        return None
+    return Observer(sim)

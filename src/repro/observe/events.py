@@ -1,0 +1,152 @@
+"""Typed pipeline events for the observability layer.
+
+Every event the simulator can emit is declared here, with its payload
+fields, so sinks, tests and docs share one catalog.  Events are cheap
+plain objects — the hot emit path allocates one :class:`TraceEvent` and
+appends it to the observer's buffer; nothing is formatted until a sink
+writes the run out.
+
+Timestamps are simulator cycles.  Components that do not know the current
+cycle (the µ-op cache, the FTQ) read it from the observer, which the main
+loop updates at the top of every executed cycle.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Event kinds
+# ---------------------------------------------------------------------------
+
+#: Frontend switched fetch mode (stream <-> build).
+FETCH_MODE_SWITCH = "fetch_mode_switch"
+#: A µ-op cache entry was installed (demand build path or UCP prefetch).
+UOP_FILL = "uop_fill"
+#: A µ-op cache entry was evicted to make room.
+UOP_EVICT = "uop_evict"
+#: A demand lookup hit a µ-op cache entry.
+UOP_HIT = "uop_hit"
+#: A prefetched entry was used for the first time (UCP usefulness).
+UCP_USEFUL_FILL = "ucp_useful_fill"
+#: The BPU pushed a fetch block into the FTQ.
+FTQ_ENQUEUE = "ftq_enqueue"
+#: The FTQ was squashed (cleared) wholesale.
+FTQ_SQUASH = "ftq_squash"
+#: The BPU processed a branch it mispredicted (direction or target).
+BRANCH_MISPREDICT = "branch_mispredict"
+#: A mispredicted branch resolved in the backend; the frontend redirects.
+BRANCH_RESOLVE = "branch_resolve"
+#: An H2P trigger started a UCP alternate-path walk.
+UCP_TRIGGER = "ucp_trigger"
+#: UCP inserted a walked entry into the µ-op cache.
+UCP_ALT_FILL = "ucp_alt_fill"
+#: The ROB filled up — the frontend is now backpressured.
+ROB_FULL = "rob_full"
+#: The ROB drained below capacity again.
+ROB_DRAIN = "rob_drain"
+
+#: Catalog: kind -> (component lane, payload field documentation).
+#: The lane groups events into Perfetto threads; the field docs are the
+#: contract ``docs/OBSERVABILITY.md`` and the sink tests check against.
+EVENT_CATALOG: dict[str, tuple[str, dict[str, str]]] = {
+    FETCH_MODE_SWITCH: (
+        "fetch",
+        {"to": "mode being switched into ('stream' or 'build')"},
+    ),
+    UOP_FILL: (
+        "uopcache",
+        {
+            "n_uops": "µ-ops in the installed entry",
+            "from_prefetch": "True when UCP's alternate path built the entry",
+        },
+    ),
+    UOP_EVICT: (
+        "uopcache",
+        {
+            "from_prefetch": "True when the victim came from a prefetch",
+            "used": "True when the victim was ever hit by a demand lookup",
+        },
+    ),
+    UOP_HIT: ("uopcache", {"n_uops": "µ-ops delivered by the hit entry"}),
+    UCP_USEFUL_FILL: (
+        "ucp",
+        {"n_uops": "µ-ops in the prefetched entry being used for the first time"},
+    ),
+    FTQ_ENQUEUE: (
+        "ftq",
+        {
+            "start_index": "trace index of the block's first instruction",
+            "count": "instructions in the block",
+            "ends_taken": "block ends at a predicted-taken branch",
+            "mispredicted": "block ends at a mispredicted branch (BPU stalls)",
+        },
+    ),
+    FTQ_SQUASH: (
+        "ftq",
+        {"blocks": "blocks discarded", "instructions": "instructions discarded"},
+    ),
+    BRANCH_MISPREDICT: (
+        "bpu",
+        {
+            "index": "trace index of the mispredicted branch",
+            "flavor": "branch flavour: 'cond', 'indirect' or 'return'",
+        },
+    ),
+    BRANCH_RESOLVE: (
+        "bpu",
+        {"index": "trace index of the resolving branch"},
+    ),
+    UCP_TRIGGER: (
+        "ucp",
+        {
+            "index": "trace index of the H2P trigger branch",
+            "alt_taken": "direction the alternate path takes",
+        },
+    ),
+    UCP_ALT_FILL: (
+        "ucp",
+        {
+            "n_uops": "µ-ops in the inserted entry",
+            "trigger_index": "trace index of the walk's trigger branch",
+            "timely": "inserted before the trigger instance resolved",
+        },
+    ),
+    ROB_FULL: ("backend", {"occupancy": "ROB entries held (== capacity)"}),
+    ROB_DRAIN: ("backend", {"occupancy": "ROB entries held after draining"}),
+}
+
+#: Perfetto lane (tid) per component, in display order.
+LANES: dict[str, int] = {
+    "fetch": 1,
+    "uopcache": 2,
+    "ftq": 3,
+    "bpu": 4,
+    "ucp": 5,
+    "backend": 6,
+}
+
+
+class TraceEvent:
+    """One timestamped pipeline event: ``(cycle, kind, pc, data)``."""
+
+    __slots__ = ("cycle", "kind", "pc", "data")
+
+    def __init__(self, cycle: int, kind: str, pc: int | None, data: dict) -> None:
+        self.cycle = cycle
+        self.kind = kind
+        #: PC the event is about (entry start, branch PC, …); None when the
+        #: event has no natural program counter (e.g. an FTQ squash).
+        self.pc = pc
+        self.data = data
+
+    def as_dict(self) -> dict:
+        """Stable JSON-friendly form (the JSONL sink's line format)."""
+        record: dict = {"cycle": self.cycle, "kind": self.kind}
+        if self.pc is not None:
+            record["pc"] = self.pc
+        if self.data:
+            record.update(self.data)
+        return record
+
+    def __repr__(self) -> str:
+        pc = f" pc={self.pc:#x}" if self.pc is not None else ""
+        return f"TraceEvent(@{self.cycle} {self.kind}{pc})"

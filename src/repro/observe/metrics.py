@@ -1,0 +1,142 @@
+"""Interval metrics: windowed time-series sampled every N cycles.
+
+Unlike the event bus (off unless tracing), interval sampling is cheap
+enough to stay on by default: the run loop pays one integer compare per
+cycle and the recorder materialises one sample per ``interval`` cycles
+from :meth:`StatBlock.to_dict` counter deltas.  Samples ride along in
+:class:`~repro.core.pipeline.SimResult` (and therefore in the result
+cache) as plain dicts.
+
+Sampling happens at exact interval-boundary cycles with the *pre-tick*
+architectural state, and the simulator's idle-cycle skipping provably
+freezes all counters across skipped ranges, so the sampled series is
+bit-identical with skipping on or off.
+
+``REPRO_SIM_INTERVAL`` overrides the default window of 1024 cycles
+(``0`` disables sampling entirely).  The knob is deliberately *not* part
+of ``SimConfig``: like idle-skip, it is purely observational and must not
+perturb the result-cache key.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.common.stats import StatBlock, per_kilo, percent
+
+#: Default sampling window in cycles.
+DEFAULT_INTERVAL = 1024
+
+#: Sentinel "no more samples" boundary for the run loop's hoisted compare.
+NO_SAMPLE = 1 << 62
+
+
+def interval_cycles() -> int:
+    """Configured sampling window: 0 = off, N = every N cycles.
+
+    Read from ``REPRO_SIM_INTERVAL`` at call time (same contract as
+    ``repro.verify.check_level``); unparsable values fall back to the
+    default — a user who set the variable wanted sampling.
+    """
+    raw = os.environ.get("REPRO_SIM_INTERVAL", "")
+    if raw == "":
+        return DEFAULT_INTERVAL
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_INTERVAL
+    return max(value, 0)
+
+
+def make_interval_recorder(
+    stats: StatBlock, interval: int | None = None
+) -> "IntervalRecorder | None":
+    """Build a recorder over ``stats``, or None when sampling is off.
+
+    ``interval`` overrides the environment: a positive value forces that
+    window, 0 forces sampling off, None defers to ``REPRO_SIM_INTERVAL``.
+    """
+    if interval is None:
+        interval = interval_cycles()
+    if interval <= 0:
+        return None
+    return IntervalRecorder(stats, interval)
+
+
+class IntervalRecorder:
+    """Accumulates one metrics sample per ``interval`` simulated cycles."""
+
+    __slots__ = ("interval", "next_cycle", "samples", "_stats", "_last_cycle", "_prev")
+
+    #: Counters whose deltas feed the derived per-window metrics.
+    TRACKED = (
+        "uops_uop",
+        "uops_decode",
+        "uops_mrc",
+        "cond_branches",
+        "cond_mispredictions",
+        "mode_switches",
+        "ucp_h2p_triggers",
+        "ucp_entries_prefetched",
+        "ucp_entries_timely",
+        "prefetch_insertions",
+        "prefetched_entries_used",
+    )
+
+    def __init__(self, stats: StatBlock, interval: int) -> None:
+        self.interval = interval
+        self.next_cycle = interval
+        self.samples: list[dict] = []
+        self._stats = stats
+        self._last_cycle = 0
+        self._prev = {"instructions": 0, "counters": {}}
+
+    def catch_up(self, cycle: int, committed: int) -> int:
+        """Emit every sample with a boundary ``<= cycle``; returns the next
+        boundary.  Called with *pre-tick* state, so after an idle-skip jump
+        the late boundaries sample exactly the (frozen) counters they would
+        have seen had each cycle executed."""
+        while self.next_cycle <= cycle:
+            self._sample(self.next_cycle, committed)
+            self.next_cycle += self.interval
+        return self.next_cycle
+
+    def finish(self, cycle: int, committed: int) -> None:
+        """Close the series with a final partial sample at end of run."""
+        if cycle > self._last_cycle:
+            self._sample(cycle, committed)
+
+    def _sample(self, cycle: int, committed: int) -> None:
+        counters = self._stats.to_dict()["counters"]
+        prev = self._prev["counters"]
+        delta = {key: counters.get(key, 0) - prev.get(key, 0) for key in self.TRACKED}
+        window_instructions = committed - self._prev["instructions"]
+        window_cycles = cycle - self._last_cycle
+        uop = delta["uops_uop"]
+        decode = delta["uops_decode"]
+        mrc = delta["uops_mrc"]
+        self.samples.append(
+            {
+                "cycle": cycle,
+                "instructions": committed,
+                "window_cycles": window_cycles,
+                "window_instructions": window_instructions,
+                "ipc": window_instructions / window_cycles if window_cycles else 0.0,
+                "uop_hit_rate": percent(uop, uop + decode + mrc),
+                "cond_mpki": per_kilo(delta["cond_mispredictions"], window_instructions),
+                "switch_pki": per_kilo(delta["mode_switches"], window_instructions),
+                "ucp_triggers": delta["ucp_h2p_triggers"],
+                "ucp_entries": delta["ucp_entries_prefetched"],
+                "ucp_accuracy": percent(
+                    delta["ucp_entries_timely"], delta["ucp_entries_prefetched"]
+                ),
+                "ucp_coverage": percent(
+                    delta["prefetched_entries_used"], delta["prefetch_insertions"]
+                ),
+            }
+        )
+        self._last_cycle = cycle
+        self._prev = {"instructions": committed, "counters": counters}
+
+    def __repr__(self) -> str:
+        return f"IntervalRecorder(every {self.interval}, {len(self.samples)} samples)"

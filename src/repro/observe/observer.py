@@ -1,0 +1,174 @@
+"""The event bus at the heart of ``repro.observe``.
+
+One :class:`Observer` per simulation collects typed events from every
+pipeline component, drives the stall-cycle taxonomy, and tracks
+misprediction refill shadows.  Components hold ``self.observer = None``
+by default and emit behind a single pointer test, exactly like the PR 2
+sanitizer hooks — with tracing off the whole subsystem costs the run loop
+two pointer tests per cycle and each component one per (rare) emit site.
+
+The observer attaches itself to the simulator's components on
+construction; the main loop calls :meth:`begin_cycle` / :meth:`end_cycle`
+around each executed cycle and :meth:`on_skip` when the idle-skip
+fast-path jumps the clock (state is provably frozen across the jump, so
+the skipped range is classified once, at the jump point).
+"""
+
+from __future__ import annotations
+
+from repro.observe.events import (
+    BRANCH_MISPREDICT,
+    BRANCH_RESOLVE,
+    ROB_DRAIN,
+    ROB_FULL,
+    TraceEvent,
+)
+from repro.observe.taxonomy import (
+    BUILD,
+    REFILL_SHADOW,
+    STREAMING,
+    StallTaxonomy,
+    classify_stall,
+)
+
+
+class Observer:
+    """Event buffer + taxonomy driver for one simulation."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        #: Current cycle, maintained by the run loop for emitters that do
+        #: not receive one (µ-op cache, FTQ).
+        self.cycle = 0
+        self.events: list[TraceEvent] = []
+        self.taxonomy = StallTaxonomy()
+        #: Closed refill shadows: (branch_pc, start_cycle, end_cycle).
+        self.shadows: list[tuple[int, int, int]] = []
+        self._shadow_pc: int | None = None
+        self._shadow_start = 0
+        self._shadow_resolved = False
+        # Delivery-counter snapshot taken at the top of each cycle.
+        self._stats = sim.stats
+        self._uop0 = 0
+        self._decode0 = 0
+        self._mrc0 = 0
+        # Flattened PC column (shared with the fetch engine) for emitters
+        # that report a trace index rather than a PC.
+        self._pcs = sim.fetch._pcs
+        # ROB-full edge detector for the backend timeline lane.
+        self._rob_was_full = False
+
+        # Attach to every component (one pointer test per emit site).
+        sim.fetch.observer = self
+        sim.bpu.observer = self
+        sim.ftq.observer = self
+        sim.backend.observer = self
+        if sim.uop_cache is not None:
+            sim.uop_cache.observer = self
+        if sim.ucp is not None:
+            sim.ucp.observer = self
+
+    # ------------------------------------------------------------------
+    # Event bus
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: str, pc: int | None = None, **data) -> None:
+        self.events.append(TraceEvent(self.cycle, kind, pc, data))
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # Dedicated entry points for events with taxonomy side effects.
+
+    def on_mispredict(self, index: int, pc: int, flavor: str) -> None:
+        """BPU mispredicted a branch: emit and open its refill shadow."""
+        self.events.append(
+            TraceEvent(
+                self.cycle, BRANCH_MISPREDICT, pc, {"index": index, "flavor": flavor}
+            )
+        )
+        self.taxonomy.record_mispredict(pc)
+        if self._shadow_pc is not None:
+            # A new mispredict before the previous shadow saw its first
+            # post-redirect delivery: close the old shadow here.
+            self.shadows.append((self._shadow_pc, self._shadow_start, self.cycle))
+        self._shadow_pc = pc
+        self._shadow_start = self.cycle
+        self._shadow_resolved = False
+
+    def on_resolve(self, index: int) -> None:
+        """The stalling branch resolved; the pipeline refill begins."""
+        self.events.append(
+            TraceEvent(self.cycle, BRANCH_RESOLVE, self._pcs[index], {"index": index})
+        )
+        self._shadow_resolved = True
+
+    # ------------------------------------------------------------------
+    # Per-cycle taxonomy driving
+    # ------------------------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        self.cycle = cycle
+        stats = self._stats
+        self._uop0 = stats["uops_uop"]
+        self._decode0 = stats["uops_decode"]
+        self._mrc0 = stats["uops_mrc"]
+
+    def end_cycle(self, cycle: int) -> None:
+        rob_full = self.sim.backend.rob_full
+        if rob_full != self._rob_was_full:
+            self._rob_was_full = rob_full
+            occupancy = self.sim.backend.rob_occupancy
+            self.events.append(
+                TraceEvent(
+                    cycle,
+                    ROB_FULL if rob_full else ROB_DRAIN,
+                    None,
+                    {"occupancy": occupancy},
+                )
+            )
+        stats = self._stats
+        delivered_stream = (
+            stats["uops_uop"] - self._uop0 or stats["uops_mrc"] - self._mrc0
+        )
+        delivered_build = stats["uops_decode"] - self._decode0
+        if delivered_stream or delivered_build:
+            self.taxonomy.add(STREAMING if delivered_stream else BUILD)
+            if self._shadow_pc is not None and self._shadow_resolved:
+                # First delivery after the redirect closes the shadow.
+                self.shadows.append((self._shadow_pc, self._shadow_start, cycle))
+                self._shadow_pc = None
+            return
+        if self._shadow_pc is not None:
+            self.taxonomy.add(REFILL_SHADOW, pc=self._shadow_pc)
+            return
+        bucket, pc = classify_stall(self.sim, cycle)
+        self.taxonomy.add(bucket, pc=pc)
+
+    def on_skip(self, cycle: int, wake: int) -> None:
+        """The clock jumps ``cycle -> wake``: state (and therefore the
+        classification) is frozen, so the whole range books in one call.
+        A skip is only legal when no component can act, which implies no
+        delivery — the no-delivery classifier applies directly."""
+        self.cycle = cycle
+        cycles = wake - cycle
+        if self._shadow_pc is not None:
+            self.taxonomy.add(REFILL_SHADOW, cycles, pc=self._shadow_pc)
+            return
+        bucket, pc = classify_stall(self.sim, cycle)
+        self.taxonomy.add(bucket, cycles, pc=pc)
+
+    def on_finish(self, total_cycles: int) -> None:
+        """Close open shadows and, with the sanitizer armed, enforce the
+        partition invariant (buckets sum exactly to total cycles)."""
+        if self._shadow_pc is not None:
+            self.shadows.append((self._shadow_pc, self._shadow_start, total_cycles))
+            self._shadow_pc = None
+        if self.sim.checker is not None:
+            self.taxonomy.check_partition(total_cycles, name=self.sim.name)
+
+    def __repr__(self) -> str:
+        return f"Observer({len(self.events)} events, cycle {self.cycle})"

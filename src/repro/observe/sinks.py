@@ -1,0 +1,144 @@
+"""Trace sinks: JSONL and Chrome/Perfetto ``trace_event`` output.
+
+Events are buffered in the :class:`~repro.observe.observer.Observer`
+during the run and written once at the end, so sinks never sit on the
+simulator's hot path.
+
+* :class:`JsonlSink` — one self-describing JSON object per line (a header
+  record first), trivially greppable and streamable into pandas.
+* :class:`PerfettoSink` — the Chrome ``trace_event`` JSON format: open the
+  file in ``chrome://tracing`` or https://ui.perfetto.dev.  Pipeline
+  events become instant events on per-component lanes, refill shadows
+  become duration slices, and interval metrics become counter tracks.
+  Timestamps are simulator *cycles* presented as microseconds (the format
+  has no "cycles" unit; 1 cycle == 1 µs keeps the UI readable).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.observe.events import EVENT_CATALOG, LANES
+
+#: Schema version of both sink formats.
+SINK_SCHEMA = 1
+
+
+class JsonlSink:
+    """Write the event stream as JSON Lines."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def write(self, observer, result=None) -> int:
+        """Write header + one line per event; returns the event count."""
+        events = observer.events
+        header = {
+            "kind": "header",
+            "schema": SINK_SCHEMA,
+            "name": observer.sim.name,
+            "events": len(events),
+            "cycles": observer.cycle,
+        }
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for event in events:
+                handle.write(json.dumps(event.as_dict()) + "\n")
+        return len(events)
+
+
+def load_jsonl(path: str | Path) -> tuple[dict, list[dict]]:
+    """Read a JSONL trace back; returns ``(header, events)``."""
+    with open(path, encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    if not lines or lines[0].get("kind") != "header":
+        raise ValueError(f"{path}: not a repro JSONL trace (missing header)")
+    return lines[0], lines[1:]
+
+
+class PerfettoSink:
+    """Write a Chrome/Perfetto ``trace_event`` JSON file."""
+
+    #: Interval-sample fields exported as Perfetto counter tracks.
+    COUNTERS = ("ipc", "uop_hit_rate", "cond_mpki")
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def write(self, observer, intervals: list[dict] | None = None) -> int:
+        """Write the trace; returns the number of ``traceEvents`` emitted."""
+        pid = 0
+        metadata = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+            for lane, tid in LANES.items()
+        ]
+        timed: list[dict] = []
+        for event in observer.events:
+            lane, _fields = EVENT_CATALOG[event.kind]
+            args = dict(event.data)
+            if event.pc is not None:
+                args["pc"] = f"{event.pc:#x}"
+            timed.append(
+                {
+                    "name": event.kind,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event.cycle,
+                    "pid": pid,
+                    "tid": LANES[lane],
+                    "args": args,
+                }
+            )
+        for pc, start, end in observer.shadows:
+            timed.append(
+                {
+                    "name": "refill_shadow",
+                    "ph": "X",
+                    "ts": start,
+                    "dur": max(end - start, 1),
+                    "pid": pid,
+                    "tid": LANES["bpu"],
+                    "args": {"pc": f"{pc:#x}"},
+                }
+            )
+        for sample in intervals or []:
+            for counter in self.COUNTERS:
+                timed.append(
+                    {
+                        "name": counter,
+                        "ph": "C",
+                        "ts": sample["cycle"],
+                        "pid": pid,
+                        "args": {counter: round(sample[counter], 4)},
+                    }
+                )
+        timed.sort(key=lambda item: item["ts"])
+        payload = {
+            "traceEvents": metadata + timed,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": SINK_SCHEMA,
+                "name": observer.sim.name,
+                "time_unit": "1 ts == 1 simulated cycle",
+            },
+        }
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        return len(metadata) + len(timed)
+
+
+def load_perfetto(path: str | Path) -> dict:
+    """Read a Perfetto trace back (plain ``json.load`` with a sanity check)."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "traceEvents" not in payload:
+        raise ValueError(f"{path}: not a trace_event JSON file")
+    return payload

@@ -1,0 +1,200 @@
+"""Frontend stall-cycle taxonomy: every cycle lands in exactly one bucket.
+
+The partition mirrors the profiler's discipline (PR 3: component rows sum
+to wall time) at the *simulated-cycle* level: delivery cycles are credited
+to the µ-op source that produced them, and every no-delivery cycle is
+attributed to the single most upstream structure that blocked progress.
+
+Buckets
+-------
+
+``streaming``
+    µ-ops were delivered from the µ-op cache or the MRC this cycle (the
+    short frontend pipe), or the frontend is paying a switch *into*
+    stream mode.
+``build``
+    µ-ops were delivered by the L1I + decode path, or the frontend is
+    paying a switch into build mode.
+``l1i_miss``
+    No delivery: the build path is waiting for instruction bytes from the
+    memory hierarchy (attributed to the waiting PC).
+``bpu_bubble``
+    No delivery: the BPU is serving a BTB-miss re-steer or redirect bubble
+    and downstream queues have drained.
+``ftq_full``
+    No delivery: the BPU has work but the FTQ is at capacity — the
+    frontend is rate-limited by its own queue.
+``backend_backpressure``
+    No delivery: the ROB or the µ-op queue is full — the frontend is
+    blocked on the backend draining.
+``refill_shadow``
+    No delivery inside a misprediction's shadow — from the cycle the BPU
+    mispredicts to the first µ-op delivered after the resolving redirect
+    (attributed to the mispredicted branch's PC).  This is the window UCP
+    attacks (paper Section III-C).
+``idle``
+    No delivery and nothing blocked: the frontend ran out of trace or is
+    waiting on in-flight work with no single culprit.
+
+Priority: a no-delivery cycle is tested in the order refill-shadow,
+backend-backpressure, mode-switch stall, L1I miss, BPU bubble, FTQ full,
+idle — the first match wins, so the partition is exact by construction.
+The accounting invariant (bucket sum == total cycles) is re-checked at
+end of run whenever the sim sanitizer is armed (``REPRO_SIM_CHECK``).
+"""
+
+from __future__ import annotations
+
+STREAMING = "streaming"
+BUILD = "build"
+L1I_MISS = "l1i_miss"
+BPU_BUBBLE = "bpu_bubble"
+FTQ_FULL = "ftq_full"
+BACKEND_BACKPRESSURE = "backend_backpressure"
+REFILL_SHADOW = "refill_shadow"
+IDLE = "idle"
+
+#: All buckets, in report order.
+BUCKETS = (
+    STREAMING,
+    BUILD,
+    L1I_MISS,
+    BPU_BUBBLE,
+    FTQ_FULL,
+    BACKEND_BACKPRESSURE,
+    REFILL_SHADOW,
+    IDLE,
+)
+
+
+def classify_stall(sim, cycle: int) -> tuple[str, int | None]:
+    """Classify one *no-delivery* cycle; returns ``(bucket, pc | None)``.
+
+    Only called for cycles in which the fetch engine moved no µ-ops into
+    the µ-op queue (delivery cycles are streaming/build by definition).
+    The refill-shadow case is handled by the observer before this runs.
+    Every predicate reads state that is frozen while the simulator's
+    idle-cycle skipping is active, so skipped ranges classify exactly like
+    their executed counterparts.
+    """
+    fetch = sim.fetch
+    if sim.backend.rob_full or fetch.queue_room() <= 0:
+        return BACKEND_BACKPRESSURE, None
+    if cycle < fetch._stall_until:
+        # Mode-switch penalty: charged to the mode being switched into.
+        return (STREAMING if fetch._mode == "stream" else BUILD), None
+    block = fetch._block
+    if block is not None and fetch._mode != "stream":
+        pc = fetch._pcs[block.start_index + fetch._offset]
+        ready = block.line_ready.get(pc // fetch._line_size)
+        if ready is not None and ready > cycle:
+            return L1I_MISS, pc
+    bpu = sim.bpu
+    if bpu.stalled_on is None:
+        if cycle < bpu.resume_cycle:
+            return BPU_BUBBLE, None
+        if bpu.index < len(sim.trace) and not sim.ftq.has_room(
+            sim.config.frontend.fetch_block_size
+        ):
+            return FTQ_FULL, None
+    return IDLE, None
+
+
+class StallTaxonomy:
+    """Per-cycle bucket accounting plus per-PC attribution tables."""
+
+    #: Buckets whose cycles are attributed to a specific PC.
+    ATTRIBUTED = (L1I_MISS, REFILL_SHADOW)
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {bucket: 0 for bucket in BUCKETS}
+        #: bucket -> {pc: cycles} for the attributed buckets.
+        self.by_pc: dict[str, dict[int, int]] = {
+            bucket: {} for bucket in self.ATTRIBUTED
+        }
+        #: Mispredict *events* per branch PC (not cycles).
+        self.mispredicts_by_pc: dict[int, int] = {}
+
+    # -- accounting -----------------------------------------------------
+
+    def add(self, bucket: str, cycles: int = 1, pc: int | None = None) -> None:
+        self.counts[bucket] += cycles
+        if pc is not None and bucket in self.by_pc:
+            table = self.by_pc[bucket]
+            table[pc] = table.get(pc, 0) + cycles
+
+    def record_mispredict(self, pc: int) -> None:
+        self.mispredicts_by_pc[pc] = self.mispredicts_by_pc.get(pc, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def check_partition(self, total_cycles: int, name: str = "sim") -> None:
+        """The accounting invariant: buckets sum exactly to total cycles."""
+        accounted = self.total
+        if accounted != total_cycles:
+            from repro.verify.invariants import SimCheckError
+
+            raise SimCheckError(
+                "taxonomy_partition",
+                name,
+                total_cycles,
+                f"stall taxonomy does not partition the run: buckets sum to "
+                f"{accounted} but the simulator ran {total_cycles} cycles "
+                f"({self.counts})",
+            )
+
+    # -- reporting ------------------------------------------------------
+
+    def top(self, bucket: str, k: int = 10) -> list[tuple[int, int]]:
+        """Top-``k`` (pc, cycles) for an attributed bucket."""
+        table = self.by_pc.get(bucket, {})
+        return sorted(table.items(), key=lambda item: (-item[1], item[0]))[:k]
+
+    def top_mispredicted(self, k: int = 10) -> list[tuple[int, int]]:
+        """Top-``k`` (pc, mispredict events) branches."""
+        return sorted(
+            self.mispredicts_by_pc.items(), key=lambda item: (-item[1], item[0])
+        )[:k]
+
+    def as_dict(self, top_k: int = 10) -> dict:
+        """Stable JSON-friendly export (``repro metrics --json``)."""
+        return {
+            "cycles": dict(self.counts),
+            "top": {
+                bucket: [
+                    {"pc": pc, "cycles": cycles} for pc, cycles in self.top(bucket, top_k)
+                ]
+                for bucket in self.ATTRIBUTED
+            },
+            "top_mispredicted": [
+                {"pc": pc, "events": events}
+                for pc, events in self.top_mispredicted(top_k)
+            ],
+        }
+
+    def render(self, top_k: int = 5) -> str:
+        """Human-readable taxonomy + attribution tables."""
+        total = self.total or 1
+        lines = ["stall-cycle taxonomy"]
+        for bucket in BUCKETS:
+            cycles = self.counts[bucket]
+            lines.append(f"  {bucket:21s} {cycles:>10d}  {100.0 * cycles / total:5.1f}%")
+        lines.append(f"  {'total':21s} {self.total:>10d}")
+        for bucket in self.ATTRIBUTED:
+            top = self.top(bucket, top_k)
+            if not top:
+                continue
+            lines.append(f"top {bucket} PCs")
+            for pc, cycles in top:
+                lines.append(f"  {pc:#010x} {cycles:>10d} cycles")
+        top_branches = self.top_mispredicted(top_k)
+        if top_branches:
+            lines.append("top mispredicted branches")
+            for pc, events in top_branches:
+                lines.append(f"  {pc:#010x} {events:>10d} events")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"StallTaxonomy({self.total} cycles)"

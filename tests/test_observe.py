@@ -1,0 +1,387 @@
+"""Tests for the ``repro.observe`` instrumentation subsystem.
+
+Covers the three tentpole properties:
+
+* the stall-cycle taxonomy is an exact partition (buckets sum to total
+  cycles) on the golden-six configurations;
+* observation is side-effect free — commit streams, stats and interval
+  samples are bit-identical with tracing on or off, and with idle-cycle
+  skipping on or off;
+* the sinks round-trip (JSONL header + events parse back; the Perfetto
+  file is valid ``trace_event`` JSON with monotonic timestamps) and a
+  hand-built three-branch scenario produces the exact expected
+  mispredict/resolve event sequence.
+"""
+
+import json
+
+import pytest
+
+from repro.common.output import resolve_output_path
+from repro.core.configs import SimConfig, UCPConfig
+from repro.core.pipeline import Simulator
+from repro.isa import BranchClass, Trace, TraceEntry
+from repro.observe import (
+    BUCKETS,
+    EVENT_CATALOG,
+    LANES,
+    JsonlSink,
+    PerfettoSink,
+    load_jsonl,
+    load_perfetto,
+    make_observer,
+    trace_level,
+)
+from repro.workloads import load_workload
+from tests.test_golden_stats import CASES
+
+N_INSTRUCTIONS = 3_000
+
+
+def _run(trace, config, **kwargs):
+    sim = Simulator(trace, config, **kwargs)
+    result = sim.run()
+    return sim, result
+
+
+@pytest.fixture(scope="module")
+def observed_golden():
+    """One observed run per golden-six case (module-scoped: they're reused)."""
+    runs = {}
+    for (workload, label), config in CASES.items():
+        trace = load_workload(workload, N_INSTRUCTIONS).trace
+        runs[(workload, label)] = _run(trace, config, check=True, observe=True)
+    return runs
+
+
+class TestTaxonomyPartition:
+    def test_buckets_sum_to_cycles_on_golden_six(self, observed_golden):
+        for (workload, label), (sim, result) in observed_golden.items():
+            taxonomy = sim.observer.taxonomy
+            assert taxonomy.total == result.cycles, (workload, label, taxonomy.counts)
+            assert set(taxonomy.counts) == set(BUCKETS)
+            assert all(count >= 0 for count in taxonomy.counts.values())
+
+    def test_attribution_never_exceeds_bucket(self, observed_golden):
+        for (sim, _result) in observed_golden.values():
+            taxonomy = sim.observer.taxonomy
+            for bucket, table in taxonomy.by_pc.items():
+                assert sum(table.values()) <= taxonomy.counts[bucket]
+
+    def test_partition_check_raises_on_mismatch(self):
+        from repro.observe import StallTaxonomy
+        from repro.verify.invariants import SimCheckError
+
+        taxonomy = StallTaxonomy()
+        taxonomy.add("streaming", 5)
+        taxonomy.check_partition(5)  # exact: fine
+        with pytest.raises(SimCheckError):
+            taxonomy.check_partition(6)
+
+    def test_as_dict_and_render(self, observed_golden):
+        sim, _ = observed_golden[("srv_05", "ucp")]
+        exported = sim.observer.taxonomy.as_dict(top_k=3)
+        assert set(exported) == {"cycles", "top", "top_mispredicted"}
+        assert set(exported["cycles"]) == set(BUCKETS)
+        rendered = sim.observer.taxonomy.render()
+        for bucket in BUCKETS:
+            assert bucket in rendered
+
+
+class TestObservationIsSideEffectFree:
+    @pytest.mark.parametrize("workload,label", [("int_02", "base"), ("srv_05", "ucp")])
+    def test_commit_stream_and_stats_bit_identical(self, workload, label):
+        config = CASES[(workload, label)]
+        trace = load_workload(workload, N_INSTRUCTIONS).trace
+        streams = {}
+        results = {}
+        for observe in (False, True):
+            sim = Simulator(trace, config, observe=observe)
+            stream = []
+            sim.backend.commit_hook = stream.append
+            results[observe] = sim.run()
+            streams[observe] = stream
+            assert (sim.observer is not None) is observe
+        assert streams[False] == streams[True]
+        assert results[False].cycles == results[True].cycles
+        assert results[False].window == results[True].window
+        assert results[False].totals.to_dict() == results[True].totals.to_dict()
+
+    @pytest.mark.parametrize("workload,label", [("fp_01", "base"), ("srv_05", "ucp")])
+    def test_taxonomy_and_intervals_identical_with_idle_skip(self, workload, label):
+        config = CASES[(workload, label)]
+        trace = load_workload(workload, N_INSTRUCTIONS).trace
+        runs = {
+            skip: _run(trace, config, check=True, observe=True, idle_skip=skip)
+            for skip in (False, True)
+        }
+        (sim_a, res_a), (sim_b, res_b) = runs[False], runs[True]
+        assert res_a.cycles == res_b.cycles
+        assert res_a.intervals == res_b.intervals
+        assert sim_a.observer.taxonomy.counts == sim_b.observer.taxonomy.counts
+        assert sim_a.observer.taxonomy.by_pc == sim_b.observer.taxonomy.by_pc
+
+    def test_trace_level_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_TRACE", raising=False)
+        assert trace_level() == 0
+        monkeypatch.setenv("REPRO_SIM_TRACE", "0")
+        assert trace_level() == 0
+        monkeypatch.setenv("REPRO_SIM_TRACE", "1")
+        assert trace_level() == 1
+        trace = load_workload("fp_01", 500).trace
+        sim = Simulator(trace, SimConfig())
+        assert sim.observer is not None
+        monkeypatch.setenv("REPRO_SIM_TRACE", "0")
+        assert make_observer(Simulator(trace, SimConfig())) is None
+
+
+class TestIntervalMetrics:
+    def test_samples_cover_the_run(self):
+        trace = load_workload("int_02", N_INSTRUCTIONS).trace
+        sim, result = _run(trace, SimConfig(), interval=512)
+        samples = result.intervals
+        assert samples, "expected at least one interval sample"
+        # Boundaries are 512, 1024, ... plus a final partial sample.
+        cycles = [sample["cycle"] for sample in samples]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] == result.cycles
+        for boundary in cycles[:-1]:
+            assert boundary % 512 == 0
+        # Windows tile the run exactly.
+        assert sum(sample["window_cycles"] for sample in samples) == result.cycles
+        assert samples[-1]["instructions"] == N_INSTRUCTIONS
+
+    def test_interval_zero_disables_sampling(self):
+        trace = load_workload("fp_01", 1_000).trace
+        sim, result = _run(trace, SimConfig(), interval=0)
+        assert sim.intervals is None
+        assert result.intervals == []
+
+    def test_env_override(self, monkeypatch):
+        from repro.observe.metrics import DEFAULT_INTERVAL, interval_cycles
+
+        monkeypatch.delenv("REPRO_SIM_INTERVAL", raising=False)
+        assert interval_cycles() == DEFAULT_INTERVAL
+        monkeypatch.setenv("REPRO_SIM_INTERVAL", "256")
+        assert interval_cycles() == 256
+        monkeypatch.setenv("REPRO_SIM_INTERVAL", "0")
+        assert interval_cycles() == 0
+        monkeypatch.setenv("REPRO_SIM_INTERVAL", "junk")
+        assert interval_cycles() == DEFAULT_INTERVAL
+
+
+def _three_branch_trace() -> Trace:
+    """Two deterministic mispredicts around one correctly predicted return.
+
+    A bare RETURN with an empty RAS always mispredicts (the BPU pops None);
+    a CALL_DIRECT/RETURN pair always predicts correctly.  The scenario is
+    therefore exact regardless of predictor contents.
+    """
+    n = BranchClass.NOT_BRANCH
+    entries = [
+        TraceEntry(0x1000, n),
+        TraceEntry(0x1004, n),
+        TraceEntry(0x1008, BranchClass.RETURN, taken=True, target=0x2000),
+        TraceEntry(0x2000, n),
+        TraceEntry(0x2004, BranchClass.CALL_DIRECT, taken=True, target=0x3000),
+        TraceEntry(0x3000, n),
+        TraceEntry(0x3004, BranchClass.RETURN, taken=True, target=0x2008),
+        TraceEntry(0x2008, n),
+        TraceEntry(0x200C, BranchClass.RETURN, taken=True, target=0x4000),
+    ] + [TraceEntry(0x4000 + 4 * i, n) for i in range(8)]
+    return Trace.from_entries("three_branch", entries)
+
+
+class TestEventStream:
+    def test_three_branch_scenario_event_sequence(self):
+        sim, result = _run(_three_branch_trace(), SimConfig(), check=True, observe=True)
+        observer = sim.observer
+        mispredicts = [e for e in observer.events if e.kind == "branch_mispredict"]
+        resolves = [e for e in observer.events if e.kind == "branch_resolve"]
+        # Exactly the two bare returns mispredict; the paired return is
+        # predicted by the RAS and the call is unconditionally correct.
+        assert [e.pc for e in mispredicts] == [0x1008, 0x200C]
+        assert all(e.data["flavor"] == "return" for e in mispredicts)
+        assert [e.pc for e in resolves] == [0x1008, 0x200C]
+        for mispredict, resolve in zip(mispredicts, resolves):
+            assert mispredict.cycle <= resolve.cycle
+        # Each mispredict opened a refill shadow; both closed by end of run.
+        assert [pc for pc, _start, _end in observer.shadows] == [0x1008, 0x200C]
+        for _pc, start, end in observer.shadows:
+            assert start < end
+        assert observer.taxonomy.mispredicts_by_pc == {0x1008: 1, 0x200C: 1}
+        assert observer.taxonomy.total == result.cycles
+
+    def test_events_cover_catalog_kinds_only(self, observed_golden):
+        for (sim, _result) in observed_golden.values():
+            for kind in sim.observer.counts_by_kind():
+                assert kind in EVENT_CATALOG
+
+    def test_ucp_events_present_on_h2p_heavy_run(self, observed_golden):
+        sim, _ = observed_golden[("int_02", "ucp")]
+        counts = sim.observer.counts_by_kind()
+        assert counts.get("ucp_trigger", 0) > 0
+        assert counts.get("ucp_alt_fill", 0) > 0
+        assert counts.get("uop_fill", 0) > 0
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        sim, result = _run(_three_branch_trace(), SimConfig(), observe=True)
+        path = tmp_path / "trace.jsonl"
+        written = JsonlSink(path).write(sim.observer, result=result)
+        header, events = load_jsonl(path)
+        assert header["schema"] == 1
+        assert header["events"] == written == len(events)
+        assert header["cycles"] <= result.cycles
+        kinds = {event["kind"] for event in events}
+        assert "branch_mispredict" in kinds and "branch_resolve" in kinds
+        cycles = [event["cycle"] for event in events]
+        assert cycles == sorted(cycles)
+
+    def test_jsonl_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"kind": "uop_fill", "cycle": 1}\n')
+        with pytest.raises(ValueError):
+            load_jsonl(path)
+
+    def test_perfetto_round_trip(self, tmp_path):
+        trace = load_workload("srv_05", N_INSTRUCTIONS).trace
+        config = SimConfig(ucp=UCPConfig(enabled=True))
+        sim, result = _run(trace, config, observe=True, interval=512)
+        path = tmp_path / "trace.json"
+        written = PerfettoSink(path).write(sim.observer, intervals=result.intervals)
+        payload = load_perfetto(path)
+        events = payload["traceEvents"]
+        assert written == len(events)
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in metadata} == set(LANES)
+        timed = [e for e in events if e["ph"] != "M"]
+        timestamps = [e["ts"] for e in timed]
+        assert timestamps == sorted(timestamps)
+        assert any(e["ph"] == "X" and e["name"] == "refill_shadow" for e in timed)
+        assert any(e["ph"] == "C" and e["name"] == "ipc" for e in timed)
+        for event in timed:
+            if event["ph"] == "i":
+                assert event["tid"] in LANES.values()
+
+    def test_perfetto_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError):
+            load_perfetto(path)
+
+
+class TestOutputPathHelper:
+    def test_bare_name_lands_in_bench_out(self, tmp_path, monkeypatch):
+        out = tmp_path / "artifacts"
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(out))
+        resolved = resolve_output_path("report.json")
+        assert resolved == out / "report.json"
+        assert out.is_dir()  # created on demand
+
+    def test_bare_name_without_env_stays_relative(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_OUT", raising=False)
+        from pathlib import Path
+
+        assert resolve_output_path("report.json") == Path("report.json")
+
+    def test_explicit_paths_pass_through(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path / "elsewhere"))
+        explicit = tmp_path / "here" / "report.json"
+        assert resolve_output_path(str(explicit)) == explicit
+        assert resolve_output_path("sub/report.json").as_posix() == "sub/report.json"
+
+
+class TestCli:
+    def test_trace_perfetto(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "out.trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "fp_01",
+                    "--instructions",
+                    "2000",
+                    "--check",
+                    "--output",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stall-cycle taxonomy" in out
+        assert load_perfetto(path)["otherData"]["schema"] == 1
+
+    def test_trace_jsonl_respects_bench_out(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        assert (
+            main(["trace", "fp_01", "--instructions", "2000", "--format", "jsonl"]) == 0
+        )
+        header, _events = load_jsonl(tmp_path / "fp_01.jsonl")
+        assert header["kind"] == "header"
+
+    def test_metrics_table_and_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "metrics",
+                    "int_02",
+                    "--instructions",
+                    "3000",
+                    "--interval",
+                    "512",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "interval metrics" in out and "stall-cycle taxonomy" in out
+        payload = json.loads(path.read_text())
+        assert payload["intervals"]
+        assert set(payload["taxonomy"]["cycles"]) == set(BUCKETS)
+
+    def test_simulate_trace_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "fp_01", "--instructions", "2000", "--trace"]) == 0
+        assert "stall-cycle taxonomy" in capsys.readouterr().out
+
+
+class TestResultSerialization:
+    def test_sim_result_round_trips_through_dict(self):
+        trace = load_workload("int_02", 2_000).trace
+        config = SimConfig(ucp=UCPConfig(enabled=True))
+        _sim, result = _run(trace, config, interval=512)
+        rebuilt = type(result).from_dict(result.to_dict(), config)
+        assert rebuilt.cycles == result.cycles
+        assert rebuilt.window == result.window
+        assert rebuilt.intervals == result.intervals
+        assert rebuilt.totals.to_dict() == result.totals.to_dict()
+        assert rebuilt.ipc == result.ipc
+
+    def test_from_dict_rejects_wrong_schema(self):
+        from repro.core.pipeline import SimResult
+
+        with pytest.raises(ValueError):
+            SimResult.from_dict({"schema": 999}, SimConfig())
+
+    def test_stat_block_round_trip(self):
+        from repro.common.stats import StatBlock
+
+        block = StatBlock("demo")
+        block.add("hits", 3)
+        rebuilt = StatBlock.from_dict(block.to_dict())
+        assert rebuilt.to_dict() == block.to_dict()
+        with pytest.raises(ValueError):
+            StatBlock.from_dict({"schema": 999, "name": "x", "counters": {}})
