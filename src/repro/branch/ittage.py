@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.history import FoldedHistory, GlobalHistory, PathHistory
+from repro.common.history import GlobalHistory, PathHistory
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,15 @@ Commands
     (``.simcache/`` or ``REPRO_SIM_CACHE_DIR``).
 ``export WORKLOAD FILE``
     Materialise a workload trace to ``.npz`` (binary) or ``.txt`` (text).
+``lint [PATHS...]``
+    Run the simulator-aware static-analysis pass (:mod:`repro.lint`)
+    over ``src/`` (or the given paths): determinism, hook-gating, and
+    cache-contract rules SIM001–SIM007.  ``--json`` emits the
+    machine-readable report, ``--explain SIMxxx`` prints a rule's
+    rationale with bad/good examples, ``--list-rules`` shows the
+    catalogue, and ``--write-schema`` refreshes the cache-schema
+    snapshot after a reviewed payload change.  Exit codes: 0 clean,
+    1 findings, 2 internal error.
 """
 
 from __future__ import annotations
@@ -175,6 +184,33 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("workload", choices=sorted(SUITE))
     export.add_argument("path")
     export.add_argument("--instructions", type=int, default=20_000)
+
+    lint = commands.add_parser(
+        "lint", help="run the simulator-aware static-analysis pass"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the machine-readable JSON report"
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print one rule's rationale and examples (e.g. SIM004) and exit",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list the rule catalogue and exit"
+    )
+    lint.add_argument(
+        "--write-schema",
+        action="store_true",
+        help="refresh the committed cache-schema snapshot from the sources",
+    )
     return parser
 
 
@@ -475,6 +511,56 @@ def _export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        RULES,
+        LintEngine,
+        LintInternalError,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code].title}")
+        return 0
+    if args.explain:
+        rule = RULES.get(args.explain.upper())
+        if rule is None:
+            print(
+                f"unknown rule {args.explain!r}; known: {', '.join(sorted(RULES))}",
+                file=sys.stderr,
+            )
+            return 2
+        print(rule.explain())
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    engine = LintEngine()
+    try:
+        if args.write_schema:
+            snapshot = engine.write_schema_snapshot(paths)
+            print(
+                f"wrote {engine.schema_path} "
+                f"(cache_version {snapshot['cache_version']})"
+            )
+            return 0
+        report = engine.lint_paths(paths)
+    except LintInternalError as error:
+        print(f"lint: internal error: {error}", file=sys.stderr)
+        return 2
+    output = render_json(report) if args.json else render_text(report) + "\n"
+    sys.stdout.write(output)
+    return 0 if report.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "workloads":
@@ -495,6 +581,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cache(args)
     if args.command == "export":
         return _export(args)
+    if args.command == "lint":
+        return _lint(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -24,7 +24,7 @@ from pathlib import Path
 OUT_ENV = "REPRO_BENCH_OUT"
 
 
-def resolve_output_path(name: str | os.PathLike) -> Path:
+def resolve_output_path(name: str | os.PathLike[str]) -> Path:
     """Resolve where an output artifact named ``name`` should be written."""
     path = Path(name)
     if path.name != str(name):

@@ -133,7 +133,7 @@ class StatBlock:
     #: Schema version of the :meth:`to_dict` export.
     SCHEMA = 1
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """Stable schema export: ``{"schema", "name", "counters"}``.
 
         This is the one serialization format for counters — the result
@@ -148,11 +148,12 @@ class StatBlock:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "StatBlock":
+    def from_dict(cls, data: dict[str, object]) -> "StatBlock":
         """Rebuild a block from a :meth:`to_dict` export; validates shape."""
         if not isinstance(data, dict) or data.get("schema") != cls.SCHEMA:
             raise ValueError(f"not a StatBlock export (schema {cls.SCHEMA}): {data!r}")
-        block = cls(data.get("name", ""))
+        name = data.get("name", "")
+        block = cls(name if isinstance(name, str) else str(name))
         counters = data.get("counters")
         if not isinstance(counters, dict):
             raise ValueError("StatBlock export missing 'counters' mapping")

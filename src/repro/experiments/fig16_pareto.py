@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.analysis.tables import format_table
-from repro.branch.tage import TageConfig
 from repro.branch.tage_sc_l import TageScLConfig
 from repro.experiments.common import (
     QUICK,

@@ -30,6 +30,7 @@ variable-length streams import, but fall-through PCs are approximated as
 from __future__ import annotations
 
 import gzip
+import io
 import lzma
 import struct
 from pathlib import Path
@@ -47,7 +48,7 @@ REG_FLAGS = 25
 REG_INSTRUCTION_POINTER = 26
 
 
-def _open(path: Path):
+def _open(path: Path) -> io.BufferedIOBase:
     if path.suffix == ".xz":
         return lzma.open(path, "rb")
     if path.suffix == ".gz":
@@ -199,7 +200,7 @@ def dump_champsim(trace: Trace, path: str | Path) -> None:
             handle.write(record)
 
 
-def _open_for_write(path: Path):
+def _open_for_write(path: Path) -> io.BufferedIOBase:
     if path.suffix == ".xz":
         return lzma.open(path, "wb")
     if path.suffix == ".gz":

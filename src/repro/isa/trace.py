@@ -12,8 +12,10 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.isa.instruction import INSTRUCTION_SIZE, BranchClass, TraceEntry
 
@@ -43,10 +45,10 @@ class Trace:
     def __init__(
         self,
         name: str,
-        pcs: np.ndarray,
-        branch_classes: np.ndarray,
-        takens: np.ndarray,
-        targets: np.ndarray,
+        pcs: npt.NDArray[Any],
+        branch_classes: npt.NDArray[Any],
+        takens: npt.NDArray[Any],
+        targets: npt.NDArray[Any],
     ) -> None:
         length = len(pcs)
         if not (len(branch_classes) == len(takens) == len(targets) == length):
@@ -61,9 +63,13 @@ class Trace:
         self.next_pcs = np.where(
             self.takens, self.targets, self.pcs + INSTRUCTION_SIZE
         ).astype(np.int64)
-        self._list_columns: tuple[list, list, list, list, list] | None = None
+        self._list_columns: (
+            tuple[list[int], list[int], list[bool], list[int], list[int]] | None
+        ) = None
 
-    def list_columns(self) -> tuple[list, list, list, list, list]:
+    def list_columns(
+        self,
+    ) -> tuple[list[int], list[int], list[bool], list[int], list[int]]:
         """Plain-Python list views ``(pcs, branch_classes, takens, targets,
         next_pcs)`` of the columnar arrays, materialised once per trace.
 

@@ -1,0 +1,208 @@
+"""The strict-typing ratchet: per-module mypy error budgets that can only
+shrink.
+
+``repro.common``, ``repro.isa`` and ``repro.observe`` are checked with
+``mypy --strict`` directly (zero errors, enforced in CI).  The rest of
+``src/`` carries a committed budget file, ``mypy-ratchet.json``::
+
+    {
+      "schema": 1,
+      "modules": {
+        "src/repro/core/pipeline.py": 12,   # pinned: at most 12 errors
+        "src/repro/core/ucp.py": null       # unpinned: tracked, not capped
+      }
+    }
+
+Rules enforced by ``check``:
+
+* a file **not listed** in the budget must be strict-clean — new modules
+  cannot be born untyped;
+* a **pinned** file may not exceed its budget;
+* a pin may only ever be lowered (``update`` refuses increases without
+  ``--force``), so coverage ratchets monotonically toward strict;
+* ``null`` pins are a bootstrap state: ``check`` prints the measured
+  count with a nudge to pin it, and ``update`` replaces null with the
+  measured number.
+
+Run it on the output of ``mypy --strict -p repro``::
+
+    python -m repro.lint.ratchet check mypy-report.txt
+    python -m repro.lint.ratchet update mypy-report.txt   # tighten pins
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+#: Budget file format version.
+RATCHET_SCHEMA = 1
+
+#: Default committed budget file (repo root).
+DEFAULT_RATCHET = Path("mypy-ratchet.json")
+
+#: One mypy error line: ``path.py:12: error: message  [code]``.
+_ERROR_RE = re.compile(r"^(?P<path>[^:\s][^:]*\.py):\d+(?::\d+)?: error: ")
+
+
+def count_errors(mypy_output: str) -> dict[str, int]:
+    """Per-file error counts from raw mypy output (posix-normalised)."""
+    counts: dict[str, int] = {}
+    for line in mypy_output.splitlines():
+        match = _ERROR_RE.match(line.strip())
+        if match:
+            path = Path(match.group("path")).as_posix()
+            counts[path] = counts.get(path, 0) + 1
+    return counts
+
+
+def load_ratchet(path: Path) -> dict[str, int | None]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("schema") != RATCHET_SCHEMA:
+        raise ValueError(f"{path}: not a ratchet file (schema {RATCHET_SCHEMA})")
+    modules = data.get("modules")
+    if not isinstance(modules, dict):
+        raise ValueError(f"{path}: missing 'modules' mapping")
+    return {str(key): value for key, value in modules.items()}
+
+
+def save_ratchet(path: Path, modules: dict[str, int | None]) -> None:
+    payload = {
+        "schema": RATCHET_SCHEMA,
+        "modules": {key: modules[key] for key in sorted(modules)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def check(counts: dict[str, int], budget: dict[str, int | None]) -> tuple[bool, list[str]]:
+    """Compare measured ``counts`` against the ``budget``.
+
+    Returns ``(ok, messages)``; ``ok`` is False on any regression.
+    """
+    messages: list[str] = []
+    ok = True
+    for path in sorted(set(counts) | set(budget)):
+        measured = counts.get(path, 0)
+        if path not in budget:
+            if measured:
+                ok = False
+                messages.append(
+                    f"REGRESSION {path}: {measured} error(s) but the file is "
+                    "not in the ratchet — new modules must be strict-clean "
+                    "(or be deliberately added to mypy-ratchet.json)"
+                )
+            continue
+        pin = budget[path]
+        if pin is None:
+            if measured:
+                messages.append(
+                    f"unpinned  {path}: {measured} error(s); pin it with "
+                    "`python -m repro.lint.ratchet update`"
+                )
+            continue
+        if measured > pin:
+            ok = False
+            messages.append(
+                f"REGRESSION {path}: {measured} error(s) > budget {pin}"
+            )
+        elif measured < pin:
+            messages.append(
+                f"tighten   {path}: {measured} error(s) < budget {pin}; "
+                "lower the pin with `python -m repro.lint.ratchet update`"
+            )
+    return ok, messages
+
+
+def update(
+    counts: dict[str, int],
+    budget: dict[str, int | None],
+    force: bool = False,
+) -> tuple[dict[str, int | None], list[str]]:
+    """New budget: pins lowered to measured counts, nulls pinned.
+
+    Raising a pin is a contract violation and requires ``force`` (the
+    honest fix is to repair the types, not the budget).
+    """
+    new_budget: dict[str, int | None] = dict(budget)
+    messages: list[str] = []
+    for path, pin in budget.items():
+        measured = counts.get(path, 0)
+        if pin is None:
+            new_budget[path] = measured
+            messages.append(f"pinned    {path}: {measured}")
+        elif measured < pin:
+            new_budget[path] = measured
+            messages.append(f"lowered   {path}: {pin} -> {measured}")
+        elif measured > pin:
+            if not force:
+                raise ValueError(
+                    f"{path}: measured {measured} > budget {pin}; refusing to "
+                    "raise a pin without --force"
+                )
+            new_budget[path] = measured
+            messages.append(f"RAISED    {path}: {pin} -> {measured} (--force)")
+    return new_budget, messages
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.ratchet",
+        description="strict-typing ratchet over mypy output",
+    )
+    parser.add_argument("action", choices=["check", "update"])
+    parser.add_argument(
+        "mypy_output",
+        help="file holding `mypy --strict -p repro` output ('-' for stdin)",
+    )
+    parser.add_argument(
+        "--ratchet",
+        type=Path,
+        default=DEFAULT_RATCHET,
+        metavar="FILE",
+        help=f"budget file (default: {DEFAULT_RATCHET})",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="allow `update` to raise a pin (discouraged)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.mypy_output == "-":
+            output = sys.stdin.read()
+        else:
+            output = Path(args.mypy_output).read_text(encoding="utf-8")
+        budget = load_ratchet(args.ratchet)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"ratchet: {error}", file=sys.stderr)
+        return 2
+
+    counts = count_errors(output)
+
+    if args.action == "check":
+        ok, messages = check(counts, budget)
+        for message in messages:
+            print(message)
+        total = sum(counts.values())
+        print(f"ratchet check: {total} error(s) across {len(counts)} file(s); "
+              f"{'OK' if ok else 'FAILED'}")
+        return 0 if ok else 1
+
+    try:
+        new_budget, messages = update(counts, budget, force=args.force)
+    except ValueError as error:
+        print(f"ratchet: {error}", file=sys.stderr)
+        return 1
+    for message in messages:
+        print(message)
+    save_ratchet(args.ratchet, new_budget)
+    print(f"wrote {args.ratchet}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Source-file loading for :mod:`repro.lint`: discovery, parsing, module
+naming, and the parsed-module record every rule consumes.
+
+Module names are derived from the path: everything from the last ``repro``
+path component down (``src/repro/core/ucp.py`` → ``repro.core.ucp``), so
+scoped rules (SIM002's profiling exemption, SIM004's pipeline-package
+scope) work identically on the real tree and on test fixtures laid out
+under a temporary ``src/repro/...`` directory.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Suppressions, parse_suppressions
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus everything rules need to know about it."""
+
+    path: Path
+    module: str
+    text: str
+    tree: ast.Module
+    suppressions: Suppressions = field(
+        default_factory=lambda: Suppressions(by_line={}, whole_file=frozenset())
+    )
+
+    @property
+    def display_path(self) -> str:
+        """Path as reported in findings (relative to CWD when possible)."""
+        try:
+            return self.path.relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return self.path.as_posix()
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name for ``path`` (see module docstring)."""
+    parts = list(path.parts)
+    stem = path.stem
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = parts[anchor:-1] + ([] if stem == "__init__" else [stem])
+        return ".".join(dotted)
+    return stem
+
+
+def load_module(path: Path) -> SourceModule:
+    """Parse ``path``; raises :class:`SyntaxError` on unparsable source."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    return SourceModule(
+        path=path,
+        module=module_name(path),
+        text=text,
+        tree=tree,
+        suppressions=parse_suppressions(text),
+    )
+
+
+def iter_source_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    Sorting makes the run order (and therefore the report order) stable
+    regardless of filesystem enumeration order.
+    """
+    seen: dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if "__pycache__" in file.parts:
+                    continue
+                seen.setdefault(file.resolve())
+        else:
+            seen.setdefault(path.resolve())
+    return sorted(seen)

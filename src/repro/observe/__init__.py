@@ -23,26 +23,39 @@ pointer test when tracing is off.
 from __future__ import annotations
 
 import os
+from typing import Any
 
-from repro.observe.events import EVENT_CATALOG, LANES, TraceEvent  # noqa: F401
-from repro.observe.metrics import (  # noqa: F401
+from repro.observe.events import EVENT_CATALOG, LANES, TraceEvent
+from repro.observe.metrics import (
     DEFAULT_INTERVAL,
     IntervalRecorder,
     interval_cycles,
     make_interval_recorder,
 )
 from repro.observe.observer import Observer
-from repro.observe.sinks import (  # noqa: F401
-    JsonlSink,
-    PerfettoSink,
-    load_jsonl,
-    load_perfetto,
-)
-from repro.observe.taxonomy import (  # noqa: F401
-    BUCKETS,
-    StallTaxonomy,
-    classify_stall,
-)
+from repro.observe.sinks import JsonlSink, PerfettoSink, load_jsonl, load_perfetto
+from repro.observe.taxonomy import BUCKETS, StallTaxonomy, classify_stall
+
+__all__ = [
+    "BUCKETS",
+    "DEFAULT_INTERVAL",
+    "EVENT_CATALOG",
+    "IntervalRecorder",
+    "JsonlSink",
+    "LANES",
+    "Observer",
+    "PerfettoSink",
+    "StallTaxonomy",
+    "TraceEvent",
+    "classify_stall",
+    "interval_cycles",
+    "load_jsonl",
+    "load_perfetto",
+    "make_interval_recorder",
+    "make_observer",
+    "trace_level",
+    "tracing_enabled",
+]
 
 
 def trace_level() -> int:
@@ -63,7 +76,7 @@ def tracing_enabled() -> bool:
     return trace_level() > 0
 
 
-def make_observer(sim, enabled: bool | None = None) -> Observer | None:
+def make_observer(sim: Any, enabled: bool | None = None) -> Observer | None:
     """Build an :class:`Observer` for ``sim``, or None when tracing is off.
 
     ``enabled`` overrides the environment: True forces an observer, False

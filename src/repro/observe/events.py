@@ -13,6 +13,8 @@ loop updates at the top of every executed cycle.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 # ---------------------------------------------------------------------------
 # Event kinds
 # ---------------------------------------------------------------------------
@@ -130,7 +132,9 @@ class TraceEvent:
 
     __slots__ = ("cycle", "kind", "pc", "data")
 
-    def __init__(self, cycle: int, kind: str, pc: int | None, data: dict) -> None:
+    def __init__(
+        self, cycle: int, kind: str, pc: int | None, data: Mapping[str, object]
+    ) -> None:
         self.cycle = cycle
         self.kind = kind
         #: PC the event is about (entry start, branch PC, …); None when the
@@ -138,9 +142,9 @@ class TraceEvent:
         self.pc = pc
         self.data = data
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """Stable JSON-friendly form (the JSONL sink's line format)."""
-        record: dict = {"cycle": self.cycle, "kind": self.kind}
+        record: dict[str, object] = {"cycle": self.cycle, "kind": self.kind}
         if self.pc is not None:
             record["pc"] = self.pc
         if self.data:

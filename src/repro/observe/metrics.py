@@ -3,7 +3,7 @@
 Unlike the event bus (off unless tracing), interval sampling is cheap
 enough to stay on by default: the run loop pays one integer compare per
 cycle and the recorder materialises one sample per ``interval`` cycles
-from :meth:`StatBlock.to_dict` counter deltas.  Samples ride along in
+from :meth:`StatBlock.as_dict` counter deltas.  Samples ride along in
 :class:`~repro.core.pipeline.SimResult` (and therefore in the result
 cache) as plain dicts.
 
@@ -66,7 +66,15 @@ def make_interval_recorder(
 class IntervalRecorder:
     """Accumulates one metrics sample per ``interval`` simulated cycles."""
 
-    __slots__ = ("interval", "next_cycle", "samples", "_stats", "_last_cycle", "_prev")
+    __slots__ = (
+        "interval",
+        "next_cycle",
+        "samples",
+        "_stats",
+        "_last_cycle",
+        "_prev_instructions",
+        "_prev_counters",
+    )
 
     #: Counters whose deltas feed the derived per-window metrics.
     TRACKED = (
@@ -86,10 +94,11 @@ class IntervalRecorder:
     def __init__(self, stats: StatBlock, interval: int) -> None:
         self.interval = interval
         self.next_cycle = interval
-        self.samples: list[dict] = []
+        self.samples: list[dict[str, float]] = []
         self._stats = stats
         self._last_cycle = 0
-        self._prev = {"instructions": 0, "counters": {}}
+        self._prev_instructions = 0
+        self._prev_counters: dict[str, int] = {}
 
     def catch_up(self, cycle: int, committed: int) -> int:
         """Emit every sample with a boundary ``<= cycle``; returns the next
@@ -107,10 +116,10 @@ class IntervalRecorder:
             self._sample(cycle, committed)
 
     def _sample(self, cycle: int, committed: int) -> None:
-        counters = self._stats.to_dict()["counters"]
-        prev = self._prev["counters"]
+        counters = self._stats.as_dict()
+        prev = self._prev_counters
         delta = {key: counters.get(key, 0) - prev.get(key, 0) for key in self.TRACKED}
-        window_instructions = committed - self._prev["instructions"]
+        window_instructions = committed - self._prev_instructions
         window_cycles = cycle - self._last_cycle
         uop = delta["uops_uop"]
         decode = delta["uops_decode"]
@@ -136,7 +145,8 @@ class IntervalRecorder:
             }
         )
         self._last_cycle = cycle
-        self._prev = {"instructions": committed, "counters": counters}
+        self._prev_instructions = committed
+        self._prev_counters = counters
 
     def __repr__(self) -> str:
         return f"IntervalRecorder(every {self.interval}, {len(self.samples)} samples)"

@@ -16,6 +16,8 @@ the skipped range is classified once, at the jump point).
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.observe.events import (
     BRANCH_MISPREDICT,
     BRANCH_RESOLVE,
@@ -35,7 +37,7 @@ from repro.observe.taxonomy import (
 class Observer:
     """Event buffer + taxonomy driver for one simulation."""
 
-    def __init__(self, sim) -> None:
+    def __init__(self, sim: Any) -> None:
         self.sim = sim
         #: Current cycle, maintained by the run loop for emitters that do
         #: not receive one (µ-op cache, FTQ).
@@ -72,7 +74,7 @@ class Observer:
     # Event bus
     # ------------------------------------------------------------------
 
-    def emit(self, kind: str, pc: int | None = None, **data) -> None:
+    def emit(self, kind: str, pc: int | None = None, **data: object) -> None:
         self.events.append(TraceEvent(self.cycle, kind, pc, data))
 
     def counts_by_kind(self) -> dict[str, int]:

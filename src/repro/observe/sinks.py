@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 from repro.observe.events import EVENT_CATALOG, LANES
+from repro.observe.observer import Observer
 
 #: Schema version of both sink formats.
 SINK_SCHEMA = 1
@@ -31,10 +33,10 @@ class JsonlSink:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
 
-    def write(self, observer, result=None) -> int:
+    def write(self, observer: Observer, result: object = None) -> int:
         """Write header + one line per event; returns the event count."""
         events = observer.events
-        header = {
+        header: dict[str, Any] = {
             "kind": "header",
             "schema": SINK_SCHEMA,
             "name": observer.sim.name,
@@ -48,10 +50,12 @@ class JsonlSink:
         return len(events)
 
 
-def load_jsonl(path: str | Path) -> tuple[dict, list[dict]]:
+def load_jsonl(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
     """Read a JSONL trace back; returns ``(header, events)``."""
     with open(path, encoding="utf-8") as handle:
-        lines = [json.loads(line) for line in handle if line.strip()]
+        lines: list[dict[str, Any]] = [
+            json.loads(line) for line in handle if line.strip()
+        ]
     if not lines or lines[0].get("kind") != "header":
         raise ValueError(f"{path}: not a repro JSONL trace (missing header)")
     return lines[0], lines[1:]
@@ -66,10 +70,12 @@ class PerfettoSink:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
 
-    def write(self, observer, intervals: list[dict] | None = None) -> int:
+    def write(
+        self, observer: Observer, intervals: list[dict[str, float]] | None = None
+    ) -> int:
         """Write the trace; returns the number of ``traceEvents`` emitted."""
         pid = 0
-        metadata = [
+        metadata: list[dict[str, Any]] = [
             {
                 "name": "thread_name",
                 "ph": "M",
@@ -79,7 +85,7 @@ class PerfettoSink:
             }
             for lane, tid in LANES.items()
         ]
-        timed: list[dict] = []
+        timed: list[dict[str, Any]] = []
         for event in observer.events:
             lane, _fields = EVENT_CATALOG[event.kind]
             args = dict(event.data)
@@ -120,7 +126,7 @@ class PerfettoSink:
                     }
                 )
         timed.sort(key=lambda item: item["ts"])
-        payload = {
+        payload: dict[str, Any] = {
             "traceEvents": metadata + timed,
             "displayTimeUnit": "ms",
             "otherData": {
@@ -135,10 +141,10 @@ class PerfettoSink:
         return len(metadata) + len(timed)
 
 
-def load_perfetto(path: str | Path) -> dict:
+def load_perfetto(path: str | Path) -> dict[str, Any]:
     """Read a Perfetto trace back (plain ``json.load`` with a sanity check)."""
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
-    if "traceEvents" not in payload:
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
         raise ValueError(f"{path}: not a trace_event JSON file")
     return payload

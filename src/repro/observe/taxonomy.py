@@ -45,6 +45,8 @@ end of run whenever the sim sanitizer is armed (``REPRO_SIM_CHECK``).
 
 from __future__ import annotations
 
+from typing import Any
+
 STREAMING = "streaming"
 BUILD = "build"
 L1I_MISS = "l1i_miss"
@@ -67,7 +69,7 @@ BUCKETS = (
 )
 
 
-def classify_stall(sim, cycle: int) -> tuple[str, int | None]:
+def classify_stall(sim: Any, cycle: int) -> tuple[str, int | None]:
     """Classify one *no-delivery* cycle; returns ``(bucket, pc | None)``.
 
     Only called for cycles in which the fetch engine moved no µ-ops into
@@ -158,7 +160,7 @@ class StallTaxonomy:
             self.mispredicts_by_pc.items(), key=lambda item: (-item[1], item[0])
         )[:k]
 
-    def as_dict(self, top_k: int = 10) -> dict:
+    def as_dict(self, top_k: int = 10) -> dict[str, Any]:
         """Stable JSON-friendly export (``repro metrics --json``)."""
         return {
             "cycles": dict(self.counts),

@@ -1,9 +1,5 @@
 """Tests for the cached runner and table rendering."""
 
-import os
-
-import pytest
-
 from repro.analysis.runner import clear_disk_cache, run_cached
 from repro.analysis.tables import format_series, format_table
 from repro.core import SimConfig

@@ -1,7 +1,5 @@
 """Tests for the abstract backend."""
 
-import pytest
-
 from repro.common.stats import StatBlock
 from repro.core.backend import Backend
 from repro.core.configs import BackendConfig

@@ -138,3 +138,59 @@ class TestExportCommand:
         loaded = Trace.load(path)
         assert len(loaded) == 400
         loaded.validate()
+
+
+class TestLintCommand:
+    BAD = "import random\n\ndef pick(items):\n    return random.choice(items)\n"
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "src"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(self.BAD)
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM001" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(self.BAD)
+        assert main(["lint", "--json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["counts_by_rule"] == {"SIM001": 1}
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "SIM004"]) == 0
+        out = capsys.readouterr().out
+        assert "pointer test" in out and "bad:" in out and "good:" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["lint", "--explain", "sim001"]) == 0
+        assert "SIM001" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--explain", "SIM999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SIM001", "SIM004", "SIM007"):
+            assert code in out
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "SIM000" in capsys.readouterr().out

@@ -5,7 +5,7 @@ from dataclasses import replace
 import pytest
 
 from repro.core.codemap import CodeMap
-from repro.core.configs import BackendConfig, FrontendConfig, SimConfig, UCPConfig
+from repro.core.configs import SimConfig, UCPConfig
 from repro.isa import BranchClass
 
 

@@ -2,8 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
-
 from repro.analysis.energy import EnergyWeights, decode_overhead_pct, frontend_energy
 from repro.core import SimConfig, simulate
 from repro.core.configs import UCPConfig

@@ -8,7 +8,6 @@ misbehaving writer could and assert ``run_cached`` recovers.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import pickle
 import threading

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.isa import BranchClass
 from repro.workloads import (
     SUITE,
     Bernoulli,
