@@ -46,9 +46,11 @@ from repro.workloads.suite import load_workload
 __all__ = [
     "SimJob",
     "EngineStats",
+    "JobTimeoutError",
     "ParallelExecutionError",
     "ParallelRunner",
     "resolve_job_count",
+    "resolve_job_timeout",
     "run_jobs",
 ]
 
@@ -86,7 +88,9 @@ class EngineStats:
     * ``jobs_deduped`` — duplicates folded by single-flight keying;
     * ``jobs_from_memory`` / ``jobs_from_disk`` — cache hits;
     * ``jobs_simulated`` — jobs actually executed this run;
-    * ``jobs_failed`` — jobs whose worker raised.
+    * ``jobs_failed`` — jobs whose worker raised;
+    * ``jobs_timed_out`` — jobs abandoned past the per-job timeout
+      (counted in ``jobs_failed`` too).
     """
 
     def __init__(self) -> None:
@@ -130,6 +134,22 @@ class ParallelExecutionError(RuntimeError):
         super().__init__(f"{len(failures)} simulation job(s) failed: {detail}")
 
 
+class JobTimeoutError(RuntimeError):
+    """A pool job ran past its per-job timeout and was abandoned.
+
+    The worker executing it may be wedged (that is what the timeout is
+    for); the runner kills the pool's processes after draining the other
+    jobs, so a poisoned config cannot leak a hung worker past the run.
+    """
+
+    def __init__(self, job: SimJob, timeout: float) -> None:
+        self.job = job
+        self.timeout = timeout
+        super().__init__(
+            f"{job.describe()} exceeded the {timeout:.1f}s per-job timeout"
+        )
+
+
 def resolve_job_count(jobs: int | None = None) -> int:
     """Worker count: explicit arg > ``REPRO_SIM_JOBS`` > ``os.cpu_count()``."""
     if jobs is None:
@@ -142,6 +162,24 @@ def resolve_job_count(jobs: int | None = None) -> int:
     if jobs is None:
         jobs = os.cpu_count() or 1
     return max(1, jobs)
+
+
+def resolve_job_timeout(timeout: float | None = None) -> float | None:
+    """Per-job timeout in seconds: explicit arg > ``REPRO_SIM_JOB_TIMEOUT``.
+
+    ``None`` (the default) and non-positive or unparsable values mean "no
+    timeout" — the engine's historical behaviour.
+    """
+    if timeout is None:
+        env = os.environ.get("REPRO_SIM_JOB_TIMEOUT", "").strip()
+        if env:
+            try:
+                timeout = float(env)
+            except ValueError:
+                timeout = None
+    if timeout is None or timeout <= 0:
+        return None
+    return timeout
 
 
 def _pool_context() -> multiprocessing.context.BaseContext | None:
@@ -209,11 +247,26 @@ class ParallelRunner:
     progress:
         Optional callback ``progress(done, total, job)`` invoked in the
         parent process as each job resolves (from cache or from a worker).
+    job_timeout:
+        Per-job wall-clock budget in seconds, measured from dispatch to
+        the pool; ``None`` resolves via :func:`resolve_job_timeout`
+        (``REPRO_SIM_JOB_TIMEOUT``, default: no timeout).  A job past its
+        budget fails with :class:`JobTimeoutError` while the remaining
+        jobs finish; the pool's processes are then killed rather than
+        joined, so a wedged worker cannot hang the run.  The serial
+        (``jobs=1``) fallback cannot interrupt an in-process simulation
+        and ignores the timeout.
     """
 
-    def __init__(self, jobs: int | None = None, progress=None) -> None:
+    def __init__(
+        self,
+        jobs: int | None = None,
+        progress=None,
+        job_timeout: float | None = None,
+    ) -> None:
         self.jobs = resolve_job_count(jobs)
         self.progress = progress
+        self.job_timeout = resolve_job_timeout(job_timeout)
         self.stats = EngineStats()
 
     # -- public API --------------------------------------------------------
@@ -309,38 +362,108 @@ class ParallelRunner:
         context: multiprocessing.context.BaseContext,
     ) -> None:
         workers = self._effective_workers(len(pending))
-        with ProcessPoolExecutor(
+        timeout = self.job_timeout
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=context,
             initializer=_worker_init,
             initargs=(os.getpid(),),
-        ) as pool:
-            futures = {
-                pool.submit(
+        )
+        poisoned = False
+        try:
+            # Submit at most ``workers`` jobs at a time so a dispatched
+            # future starts executing immediately — that makes "time since
+            # dispatch" the right clock for the per-job timeout.
+            queue = list(reversed(pending))
+            futures: dict = {}
+            deadlines: dict = {}
+            # Futures still in flight, insertion-ordered (dispatch order).
+            outstanding: dict = {}
+
+            def submit_next() -> None:
+                job = queue.pop()
+                future = pool.submit(
                     _execute_job, job.workload, job.config, job.n_instructions
-                ): job
-                for job in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                completed, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
                 )
-                for future in completed:
+                futures[future] = job
+                outstanding[future] = None
+                if timeout is not None:
+                    deadlines[future] = time.monotonic() + timeout  # lint-ok: SIM002 timeout deadline bookkeeping
+
+            while queue and len(outstanding) < workers:
+                submit_next()
+            while outstanding:
+                if timeout is not None:
+                    slack = min(deadlines[f] for f in outstanding) - time.monotonic()  # lint-ok: SIM002 timeout deadline bookkeeping
+                    completed, _ = wait(
+                        list(outstanding),
+                        timeout=max(slack, 0.0),
+                        return_when=FIRST_COMPLETED,
+                    )
+                else:
+                    completed, _ = wait(
+                        list(outstanding), return_when=FIRST_COMPLETED
+                    )
+                if not completed and timeout is not None:
+                    now = time.monotonic()  # lint-ok: SIM002 timeout deadline bookkeeping
+                    for future in [
+                        f for f in outstanding if deadlines.get(f, 0.0) <= now
+                    ]:
+                        if future.done():
+                            continue  # finished at the wire: next wait() returns it
+                        # Running (or queued behind a wedged worker) —
+                        # either way it missed its budget: abandon it.  The
+                        # hung process is killed after the loop drains.
+                        future.cancel()
+                        outstanding.pop(future, None)
+                        poisoned = True
+                        job = futures[future]
+                        self.stats.counters.add("jobs_failed")
+                        self.stats.counters.add("jobs_timed_out")
+                        state.failures.append((job, JobTimeoutError(job, timeout)))
+                        if queue:
+                            submit_next()
+                for future in sorted(completed, key=lambda f: futures[f].key):
+                    outstanding.pop(future, None)
+                    deadlines.pop(future, None)
                     job = futures[future]
                     try:
                         result, seconds = future.result()
                     except Exception as error:
                         self.stats.counters.add("jobs_failed")
                         state.failures.append((job, error))
-                        continue
-                    self.stats.counters.add("jobs_simulated")
-                    self.stats.timings.append(JobTiming(job, seconds))
-                    self._merge(state, job, result)
+                    else:
+                        self.stats.counters.add("jobs_simulated")
+                        self.stats.timings.append(JobTiming(job, seconds))
+                        self._merge(state, job, result)
+                    if queue:
+                        submit_next()
+        finally:
+            if poisoned:
+                # At least one worker is presumed wedged: do not join it.
+                # Snapshot the process table first — the executor's
+                # management thread nulls it out during teardown.
+                processes = list(
+                    (getattr(pool, "_processes", None) or {}).values()
+                )
+                pool.shutdown(wait=False, cancel_futures=True)
+                for process in processes:
+                    try:
+                        process.terminate()
+                    except Exception:
+                        pass
+            else:
+                pool.shutdown(wait=True)
 
 
 def run_jobs(
-    jobs: list[SimJob], *, workers: int | None = None, progress=None
+    jobs: list[SimJob],
+    *,
+    workers: int | None = None,
+    progress=None,
+    job_timeout: float | None = None,
 ) -> dict[str, SimResult]:
     """One-shot convenience wrapper around :class:`ParallelRunner`."""
-    return ParallelRunner(jobs=workers, progress=progress).run(jobs)
+    return ParallelRunner(
+        jobs=workers, progress=progress, job_timeout=job_timeout
+    ).run(jobs)

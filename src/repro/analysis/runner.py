@@ -145,6 +145,12 @@ def _store_disk(key: str, result: SimResult) -> None:
             except OSError:
                 pass
             raise
+        # Service life: when a cache bound is configured, every write is
+        # an eviction opportunity (LRU by mtime; the entry just written
+        # and any in-flight keys are protected).  No bound -> no-op.
+        from repro.serve.eviction import maybe_evict
+
+        maybe_evict(protect_keys=(key,), directory=directory)
     except Exception:
         # Caching is best-effort; the in-memory result is still valid.
         pass
@@ -230,21 +236,39 @@ def clear_disk_cache() -> int:
         removed += 1
     for path in directory.glob(".*.tmp"):
         path.unlink(missing_ok=True)
+    # The warm-start index (repro.serve.snapshot) is stale once the
+    # entries are gone; drop it so a restart rescans honestly.
+    (directory / "cache-index.json").unlink(missing_ok=True)
     return removed
 
 
 def cache_stats() -> dict:
-    """Summary of the cache state for ``repro cache stats``."""
+    """Summary of the cache state for ``repro cache stats``.
+
+    ``disk_entries`` / ``disk_bytes`` come from the same scan the
+    eviction bounds enforce (:func:`repro.serve.eviction.scan_entries`) —
+    race-tolerant where the old ``path.stat()`` sweep could blow up on a
+    concurrently evicted entry — and the configured bounds plus the
+    warm-start snapshot state ride along so ``repro cache stats`` shows
+    exactly what the eviction policy sees.
+    """
+    from repro.serve.eviction import resolve_max_bytes, resolve_max_entries, scan_entries
+    from repro.serve.snapshot import read_snapshot
+
     directory = _cache_dir()
-    entries = list(directory.glob("*.pkl")) if directory.exists() else []
+    entries = scan_entries(directory)
     temp_files = list(directory.glob(".*.tmp")) if directory.exists() else []
+    snapshot = read_snapshot(directory)
     return {
         "directory": str(directory),
         "disk_enabled": _disk_enabled(),
         "disk_entries": len(entries),
-        "disk_bytes": sum(path.stat().st_size for path in entries),
+        "disk_bytes": sum(entry.size for entry in entries),
+        "max_bytes": resolve_max_bytes(),
+        "max_entries": resolve_max_entries(),
         "temp_files": len(temp_files),
         "memory_entries": len(_memory_cache),
+        "snapshot_entries": None if snapshot is None else len(snapshot),
         "cache_version": CACHE_VERSION,
     }
 

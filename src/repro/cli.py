@@ -35,9 +35,15 @@ Commands
     (:mod:`repro.verify`): clean-model sweep against the commit-stream
     oracle, or ``--inject FAULT`` to prove a deliberate bug is caught
     (``--inject all`` for the whole registry, ``--list-faults`` to see it).
-``cache stats|clear|verify``
-    Inspect, wipe, or integrity-check the simulation result cache
-    (``.simcache/`` or ``REPRO_SIM_CACHE_DIR``).
+``cache stats|clear|verify|prune|snapshot``
+    Inspect, wipe, integrity-check, LRU-evict, or snapshot-index the
+    simulation result cache (``.simcache/`` or ``REPRO_SIM_CACHE_DIR``).
+    ``verify`` exits non-zero whenever corrupt entries are found;
+    ``prune`` enforces ``--max-bytes``/``--max-entries`` bounds.
+``serve``
+    Run the asyncio experiment server (:mod:`repro.serve`): NDJSON
+    requests over a local TCP socket, single-flight deduplication across
+    clients, sharded worker pools, streamed progress events.
 ``export WORKLOAD FILE``
     Materialise a workload trace to ``.npz`` (binary) or ``.txt`` (text).
 ``lint [PATHS...]``
@@ -55,10 +61,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
 
 from repro.core import SimConfig, simulate
-from repro.core.configs import UCPConfig
+from repro.core.configs import config_from_spec
 from repro.workloads import SUITE, load_workload
 
 
@@ -179,6 +184,67 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_verify.add_argument(
         "--fix", action="store_true", help="delete corrupt entries"
     )
+    cache_prune = cache_actions.add_parser(
+        "prune", help="evict LRU entries until the cache fits a bound"
+    )
+    cache_prune.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        help="byte bound (default: REPRO_SIM_CACHE_MAX_BYTES)",
+    )
+    cache_prune.add_argument(
+        "--max-entries",
+        type=int,
+        metavar="N",
+        help="entry bound (default: REPRO_SIM_CACHE_MAX_ENTRIES)",
+    )
+    cache_prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    cache_actions.add_parser(
+        "snapshot", help="write the warm-start index snapshot"
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the asyncio experiment server (NDJSON over TCP)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default: 0 = pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="worker shards (default: REPRO_SERVE_SHARDS or a core heuristic)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=["process", "thread"],
+        default="process",
+        help="worker isolation (thread mode is for tests: fast, uncontained)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-job timeout (default: REPRO_SIM_JOB_TIMEOUT or none)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        metavar="N",
+        help="refuse new requests past this queue depth "
+        "(default: REPRO_SERVE_MAX_PENDING or 1024)",
+    )
 
     export = commands.add_parser("export", help="export a workload trace")
     export.add_argument("workload", choices=sorted(SUITE))
@@ -237,32 +303,27 @@ def _add_config_flags(sub: argparse.ArgumentParser) -> None:
 
 
 def _config_from_args(args: argparse.Namespace) -> SimConfig:
-    """Build the :class:`SimConfig` selected by the shared flags."""
-    config = SimConfig()
-    if args.no_uop_cache:
-        config = config.without_uop_cache()
-    if args.ideal_uop_cache:
-        config = replace(config, ideal_uop_cache=True)
+    """Build the :class:`SimConfig` selected by the shared flags.
+
+    Routed through :func:`repro.core.configs.config_from_spec` — the same
+    normalizer the experiment server uses — so a CLI invocation and a
+    served request spelling the same options share one cache key.
+    """
+    spec: dict[str, object] = {
+        "no_uop_cache": bool(args.no_uop_cache),
+        "ideal_uop_cache": bool(args.ideal_uop_cache),
+        "ucp": bool(args.ucp),
+        "stop_threshold": args.stop_threshold,
+    }
     if args.uop_kops:
-        config = config.with_uop_cache_kops(args.uop_kops)
+        spec["uop_kops"] = args.uop_kops
     if args.prefetcher:
-        config = replace(config, l1i_prefetcher=args.prefetcher)
+        spec["prefetcher"] = args.prefetcher
     if args.mrc:
-        config = replace(config, mrc_entries=args.mrc)
-    if args.ucp or args.ucp_variant:
-        overrides = {
-            None: {},
-            "noind": {"use_indirect": False},
-            "till-l1i": {"till_l1i_only": True},
-            "shared-decoders": {"shared_decoders": True},
-            "ideal-btb": {"ideal_btb_banking": True},
-            "tage-conf": {"confidence": "tage"},
-        }[args.ucp_variant]
-        config = replace(
-            config,
-            ucp=UCPConfig(enabled=True, stop_threshold=args.stop_threshold, **overrides),
-        )
-    return config
+        spec["mrc"] = args.mrc
+    if args.ucp_variant:
+        spec["ucp_variant"] = args.ucp_variant
+    return config_from_spec(spec)
 
 
 def _simulate(args: argparse.Namespace) -> int:
@@ -439,18 +500,29 @@ def _verify(args: argparse.Namespace) -> int:
     from repro.verify.differential import run_verification
     from repro.verify.faults import FAULTS, run_all_faults, run_fault
     from repro.verify.invariants import SimCheckError
+    from repro.verify.service_faults import (
+        SERVICE_FAULTS,
+        run_all_service_faults,
+        run_service_fault,
+    )
 
     if args.list_faults:
         for fault in FAULTS.values():
             print(f"{fault.name:20s} {fault.description}")
             print(f"{'':20s} expected: {', '.join(fault.expected_invariants)}")
+        for service_fault in SERVICE_FAULTS.values():
+            print(f"{service_fault.name:20s} {service_fault.description}")
+            print(f"{'':20s} expected: error code {service_fault.expected_code}")
         return 0
 
     if args.inject:
+        results: list = []
         if args.inject == "all":
-            results = run_all_faults()
+            results = list(run_all_faults()) + list(run_all_service_faults())
         elif args.inject in FAULTS:
             results = [run_fault(args.inject)]
+        elif args.inject in SERVICE_FAULTS:
+            results = [run_service_fault(args.inject)]
         else:
             print(
                 f"unknown fault {args.inject!r} — see `repro verify --list-faults`"
@@ -478,13 +550,19 @@ def _cache(args: argparse.Namespace) -> int:
 
     if args.cache_action == "stats":
         stats = cache_stats()
+        bound = lambda v: "unbounded" if v is None else str(v)  # noqa: E731
         print(f"directory      {stats['directory']}")
         print(f"disk cache     {'enabled' if stats['disk_enabled'] else 'disabled'}")
         print(f"cache version  {stats['cache_version']}")
-        print(f"disk entries   {stats['disk_entries']}")
-        print(f"disk bytes     {stats['disk_bytes']}")
+        print(f"disk entries   {stats['disk_entries']} (max {bound(stats['max_entries'])})")
+        print(f"disk bytes     {stats['disk_bytes']} (max {bound(stats['max_bytes'])})")
         print(f"temp files     {stats['temp_files']}")
         print(f"memory entries {stats['memory_entries']}")
+        snapshot = stats["snapshot_entries"]
+        print(
+            "snapshot       "
+            + ("none" if snapshot is None else f"{snapshot} entries indexed")
+        )
         return 0
     if args.cache_action == "clear":
         print(f"removed {clear_disk_cache()} cached result(s)")
@@ -495,8 +573,60 @@ def _cache(args: argparse.Namespace) -> int:
         print(f"corrupt {len(report['corrupt'])}")
         for name in report["corrupt"]:
             print(f"  {name}{'  (deleted)' if args.fix else ''}")
-        return 1 if report["corrupt"] and not args.fix else 0
+        # Any corrupt entry is a non-zero exit, --fix or not: scripts and
+        # CI gate on "the cache was (found) bad", not "is bad now".
+        return 1 if report["corrupt"] else 0
+    if args.cache_action == "prune":
+        from repro.serve.eviction import prune, resolve_max_bytes, resolve_max_entries
+
+        max_bytes = resolve_max_bytes(args.max_bytes)
+        max_entries = resolve_max_entries(args.max_entries)
+        if max_bytes is None and max_entries is None:
+            print(
+                "cache prune: no bound given (use --max-bytes/--max-entries "
+                "or REPRO_SIM_CACHE_MAX_BYTES/REPRO_SIM_CACHE_MAX_ENTRIES)",
+                file=sys.stderr,
+            )
+            return 2
+        report = prune(max_bytes, max_entries, dry_run=args.dry_run)
+        print(report.render())
+        return 0
+    if args.cache_action == "snapshot":
+        from repro.serve.snapshot import read_snapshot, write_snapshot
+
+        path = write_snapshot()
+        index = read_snapshot() or {}
+        print(f"wrote {path} ({len(index)} entries indexed)")
+        return 0
     raise AssertionError(f"unhandled cache action {args.cache_action}")
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import ExperimentServer
+
+    server = ExperimentServer(
+        args.host,
+        args.port,
+        shards=args.shards,
+        mode=args.mode,
+        job_timeout=args.job_timeout,
+        max_pending=args.max_pending,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+    return 0
 
 
 def _export(args: argparse.Namespace) -> int:
@@ -579,6 +709,8 @@ def main(argv: list[str] | None = None) -> int:
         return _verify(args)
     if args.command == "cache":
         return _cache(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "export":
         return _export(args)
     if args.command == "lint":

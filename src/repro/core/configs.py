@@ -6,6 +6,7 @@ defaults and overriding a few fields with :func:`dataclasses.replace`).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 
 from repro.branch.btb import BTBConfig
@@ -153,3 +154,110 @@ class SimConfig:
 
     def without_uop_cache(self) -> "SimConfig":
         return replace(self, uop_cache=None)
+
+
+#: UCP variant name -> :class:`UCPConfig` field overrides.  Shared by the
+#: CLI (``--ucp-variant``) and the experiment-server protocol so both
+#: spell the paper's Section VI ablations identically.
+UCP_VARIANTS: dict[str, dict[str, object]] = {
+    "noind": {"use_indirect": False},
+    "till-l1i": {"till_l1i_only": True},
+    "shared-decoders": {"shared_decoders": True},
+    "ideal-btb": {"ideal_btb_banking": True},
+    "tage-conf": {"confidence": "tage"},
+}
+
+#: L1I prefetcher names accepted by :func:`config_from_spec`.
+PREFETCHER_CHOICES = ("next_line", "fnl_mma", "fnl_mma++", "djolt", "ep", "ep++")
+
+#: µ-op cache capacities (in K µ-ops) accepted by :func:`config_from_spec`.
+UOP_KOPS_CHOICES = (4, 8, 16, 32, 64)
+
+#: Every key :func:`config_from_spec` understands.
+CONFIG_SPEC_KEYS = frozenset(
+    {
+        "no_uop_cache",
+        "ideal_uop_cache",
+        "uop_kops",
+        "prefetcher",
+        "mrc",
+        "ucp",
+        "ucp_variant",
+        "stop_threshold",
+    }
+)
+
+
+def config_from_spec(spec: Mapping[str, object] | None = None) -> SimConfig:
+    """Build a :class:`SimConfig` from a flat JSON-friendly option mapping.
+
+    This is the one normalizer behind both the CLI flags and the
+    experiment-server protocol: the same spec always produces the same
+    (frozen, hashable-repr) config, and therefore the same result-cache
+    key.  Unknown keys and out-of-range values raise :class:`ValueError`
+    rather than being silently dropped — a typo must not fork the cache
+    keyspace.
+
+    Recognised keys (all optional): ``no_uop_cache``, ``ideal_uop_cache``
+    (booleans, mutually exclusive), ``uop_kops`` (4/8/16/32/64),
+    ``prefetcher`` (see :data:`PREFETCHER_CHOICES`), ``mrc`` (entries),
+    ``ucp`` (boolean), ``ucp_variant`` (see :data:`UCP_VARIANTS`; implies
+    UCP), ``stop_threshold`` (UCP stop counter, default 500).
+    """
+    spec = dict(spec or {})
+    unknown = set(spec) - CONFIG_SPEC_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown config spec key(s): {', '.join(sorted(str(k) for k in unknown))}"
+        )
+
+    def _flag(key: str) -> bool:
+        value = spec.get(key, False)
+        if not isinstance(value, bool):
+            raise ValueError(f"config spec {key!r} must be a boolean, got {value!r}")
+        return value
+
+    def _int(key: str, default: int | None) -> int | None:
+        value = spec.get(key, default)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"config spec {key!r} must be an integer, got {value!r}")
+        return value
+
+    config = SimConfig()
+    if _flag("no_uop_cache") and _flag("ideal_uop_cache"):
+        raise ValueError("no_uop_cache and ideal_uop_cache are mutually exclusive")
+    if _flag("no_uop_cache"):
+        config = config.without_uop_cache()
+    if _flag("ideal_uop_cache"):
+        config = replace(config, ideal_uop_cache=True)
+    uop_kops = _int("uop_kops", None)
+    if uop_kops is not None:
+        if uop_kops not in UOP_KOPS_CHOICES:
+            raise ValueError(f"uop_kops must be one of {UOP_KOPS_CHOICES}, got {uop_kops}")
+        config = config.with_uop_cache_kops(uop_kops)
+    prefetcher = spec.get("prefetcher")
+    if prefetcher is not None:
+        if prefetcher not in PREFETCHER_CHOICES:
+            raise ValueError(
+                f"prefetcher must be one of {PREFETCHER_CHOICES}, got {prefetcher!r}"
+            )
+        config = replace(config, l1i_prefetcher=str(prefetcher))
+    mrc = _int("mrc", None)
+    if mrc:
+        config = replace(config, mrc_entries=mrc)
+    variant = spec.get("ucp_variant")
+    if variant is not None and variant not in UCP_VARIANTS:
+        raise ValueError(
+            f"ucp_variant must be one of {sorted(UCP_VARIANTS)}, got {variant!r}"
+        )
+    if _flag("ucp") or variant is not None:
+        overrides: dict[str, object] = {} if variant is None else UCP_VARIANTS[str(variant)]
+        stop_threshold = _int("stop_threshold", 500)
+        assert stop_threshold is not None
+        config = replace(
+            config,
+            ucp=UCPConfig(enabled=True, stop_threshold=stop_threshold, **overrides),  # type: ignore[arg-type]
+        )
+    return config

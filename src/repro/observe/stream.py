@@ -1,0 +1,114 @@
+"""Stream adapter: observability data → NDJSON-ready progress events.
+
+The experiment server (:mod:`repro.serve`) streams a run's progress to
+clients as ``event`` lines.  This module is the bridge between the
+observability layer's artifacts — the interval-metrics time-series riding
+in :class:`~repro.core.pipeline.SimResult` and the stall-cycle taxonomy
+export from :class:`~repro.observe.taxonomy.StallTaxonomy` — and plain
+JSON-serialisable event dicts.  It knows nothing about sockets or the
+wire protocol; the server wraps each event with the protocol envelope
+(``type: "event"`` plus the request id).
+
+Event kinds (the ``event`` field):
+
+* ``job-started``  — a job left the queue for a worker;
+* ``job-finished`` — a job resolved (``cached`` says from which tier);
+* ``interval``     — one interval-metrics sample (downsampled to at most
+  ``max_samples`` per job so a long run cannot flood a client);
+* ``taxonomy``     — the job's stall-cycle bucket totals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = [
+    "DEFAULT_MAX_SAMPLES",
+    "downsample",
+    "interval_events",
+    "job_finished_event",
+    "job_started_event",
+    "taxonomy_event",
+]
+
+#: Default per-job cap on streamed interval samples.
+DEFAULT_MAX_SAMPLES = 32
+
+#: The per-sample fields worth streaming (a subset of the recorder's
+#: sample dict — enough to plot IPC/hit-rate/MPKI live).
+_SAMPLE_FIELDS = (
+    "cycle",
+    "instructions",
+    "ipc",
+    "uop_hit_rate",
+    "cond_mpki",
+    "switch_pki",
+    "ucp_accuracy",
+)
+
+
+def downsample(samples: Sequence[Any], limit: int) -> list[Any]:
+    """At most ``limit`` samples, evenly strided, always keeping the last.
+
+    The final sample closes the series (it is the partial end-of-run
+    window), so plots stay anchored at the true end of the run.
+    """
+    if limit <= 0 or len(samples) <= limit:
+        return list(samples)
+    stride = len(samples) / limit
+    picked = [samples[int(i * stride)] for i in range(limit)]
+    picked[-1] = samples[-1]
+    return picked
+
+
+def job_started_event(key: str, workload: str) -> dict[str, Any]:
+    return {"event": "job-started", "key": key, "workload": workload}
+
+
+def job_finished_event(
+    key: str, workload: str, cached: bool, seconds: float | None = None
+) -> dict[str, Any]:
+    record: dict[str, Any] = {
+        "event": "job-finished",
+        "key": key,
+        "workload": workload,
+        "cached": cached,
+    }
+    if seconds is not None:
+        record["seconds"] = round(seconds, 4)
+    return record
+
+
+def interval_events(
+    key: str,
+    workload: str,
+    samples: Sequence[dict[str, Any]],
+    max_samples: int = DEFAULT_MAX_SAMPLES,
+) -> list[dict[str, Any]]:
+    """One ``interval`` event per (downsampled) recorder sample."""
+    events = []
+    for sample in downsample(samples, max_samples):
+        record: dict[str, Any] = {
+            "event": "interval",
+            "key": key,
+            "workload": workload,
+        }
+        for field in _SAMPLE_FIELDS:
+            if field in sample:
+                value = sample[field]
+                record[field] = round(value, 4) if isinstance(value, float) else value
+        events.append(record)
+    return events
+
+
+def taxonomy_event(
+    key: str, workload: str, taxonomy: dict[str, Any]
+) -> dict[str, Any]:
+    """The job's stall-cycle totals (from ``StallTaxonomy.as_dict()``)."""
+    return {
+        "event": "taxonomy",
+        "key": key,
+        "workload": workload,
+        "cycles": dict(taxonomy.get("cycles", {})),
+    }

@@ -1,0 +1,373 @@
+"""The asyncio experiment server: NDJSON over a local TCP socket.
+
+One :class:`ExperimentServer` owns a :class:`~repro.serve.scheduler.
+Scheduler` and listens on localhost.  Each connection multiplexes any
+number of concurrent ``run`` requests; each request expands to jobs via
+the protocol normalizer, submits them (single-flight across *all*
+connections), streams progress events when asked, and reports per-job
+``result`` / ``error`` lines as flights resolve, closing with one
+``done`` line.
+
+Failure scoping is per request: a job that times out, crashes its
+worker, or hits a corrupt cache tier produces a typed ``error`` for its
+own request only — other requests (even ones sharing the connection)
+keep running.  A dropped connection releases every flight the
+connection still holds, so abandoned work is cancelled unless another
+client shares the flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from collections.abc import Callable
+from typing import Any
+
+from repro.analysis import runner as _runner
+from repro.analysis.parallel import SimJob
+from repro.observe import stream as _stream
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    RunRequest,
+    ServeError,
+    decode_line,
+    encode_message,
+    parse_run_request,
+    result_summary,
+)
+from repro.serve.scheduler import Flight, Scheduler
+from repro.serve.snapshot import load_index
+
+__all__ = ["ExperimentServer", "resolve_max_pending"]
+
+
+def resolve_max_pending(max_pending: int | None = None) -> int:
+    """Queue bound: explicit arg > ``REPRO_SERVE_MAX_PENDING`` > 1024."""
+    if max_pending is not None and max_pending > 0:
+        return max_pending
+    raw = os.environ.get("REPRO_SERVE_MAX_PENDING", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return 1024
+
+
+class _Connection:
+    """Per-connection state: serialized writes + active request tasks."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.requests: dict[str, asyncio.Task[None]] = {}
+
+
+class ExperimentServer:
+    """Serve experiment matrices over localhost NDJSON.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    scheduler:
+        Bring your own (tests); default builds one from the remaining
+        keyword arguments.
+    shards, mode, job_timeout:
+        Forwarded to :class:`~repro.serve.scheduler.Scheduler`.
+    max_pending:
+        Refuse new ``run`` requests (``overloaded``) while this many
+        flights are already queued.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        scheduler: Scheduler | None = None,
+        shards: int | None = None,
+        mode: str = "process",
+        job_timeout: float | None = None,
+        max_pending: int | None = None,
+        log: Callable[[str], None] = print,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.scheduler = scheduler or Scheduler(
+            shards, mode=mode, job_timeout=job_timeout
+        )
+        self.max_pending = resolve_max_pending(max_pending)
+        self.log = log
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: dict[_Connection, asyncio.Task[None]] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Warm-start the cache index, start the scheduler, bind."""
+        index, source = await asyncio.to_thread(load_index)
+        self.log(f"cache index: {len(index)} entries ({source})")
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.log(f"serving on {self.host}:{self.port}")
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Hang up on every client (their handlers see EOF and exit on
+        # their own — cancelling them trips asyncio's stream-task
+        # done-callback into logging spurious CancelledErrors).
+        for conn in list(self._connections):
+            conn.writer.close()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections.values(), return_exceptions=True
+            )
+        await self.scheduler.close()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections[conn] = task
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    await self._send(
+                        conn,
+                        ServeError(
+                            "bad-request", f"line exceeds {MAX_LINE_BYTES} bytes"
+                        ).as_message(),
+                    )
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                await self._handle_line(conn, line)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.pop(conn, None)
+            # The client is gone: drop its interest in every flight.
+            for request_task in list(conn.requests.values()):
+                request_task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, conn: _Connection, line: bytes) -> None:
+        try:
+            message = decode_line(line)
+        except ServeError as error:
+            await self._send(conn, error.as_message())
+            return
+        kind = message.get("type")
+        request_id = message.get("id")
+        rid = request_id if isinstance(request_id, str) else None
+        if kind == "ping":
+            await self._send(conn, {"type": "pong", "protocol": PROTOCOL_VERSION})
+        elif kind == "status":
+            await self._send(conn, self._status_message())
+        elif kind == "cancel":
+            task = conn.requests.get(rid) if rid is not None else None
+            if task is None:
+                await self._send(
+                    conn,
+                    ServeError(
+                        "bad-request", f"no active request {rid!r} to cancel"
+                    ).as_message(rid),
+                )
+            else:
+                task.cancel()
+        elif kind == "run":
+            try:
+                request = parse_run_request(message)
+            except ServeError as error:
+                await self._send(conn, error.as_message(rid))
+                return
+            if request.id in conn.requests:
+                await self._send(
+                    conn,
+                    ServeError(
+                        "bad-request", f"request id {request.id!r} already active"
+                    ).as_message(request.id),
+                )
+                return
+            task = asyncio.create_task(
+                self._handle_run(conn, request), name=f"run-{request.id}"
+            )
+            conn.requests[request.id] = task
+            task.add_done_callback(
+                lambda _t, rid=request.id: conn.requests.pop(rid, None)
+            )
+        else:
+            await self._send(
+                conn,
+                ServeError(
+                    "bad-request", f"unknown message type {kind!r}"
+                ).as_message(rid),
+            )
+
+    def _status_message(self) -> dict[str, Any]:
+        return {
+            "type": "status",
+            "protocol": PROTOCOL_VERSION,
+            "scheduler": self.scheduler.stats(),
+            "cache": _runner.cache_stats(),
+            "max_pending": self.max_pending,
+        }
+
+    # -- request handling ---------------------------------------------------
+
+    async def _handle_run(self, conn: _Connection, request: RunRequest) -> None:
+        flights: list[tuple[SimJob, Flight]] = []
+        subscriptions: list[tuple[Flight, Any]] = []
+        try:
+            queued = sum(len(shard.heap) for shard in self.scheduler.shards)
+            if queued >= self.max_pending:
+                raise ServeError(
+                    "overloaded",
+                    f"{queued} flights already queued (bound {self.max_pending})",
+                )
+            for job in request.jobs:
+                flight = self.scheduler.submit(
+                    job, priority=request.priority, timeout=request.timeout
+                )
+                flights.append((job, flight))
+            await self._send(
+                conn,
+                {
+                    "type": "accepted",
+                    "id": request.id,
+                    "protocol": PROTOCOL_VERSION,
+                    "jobs": len(flights),
+                },
+            )
+            if request.stream:
+                for _job, flight in flights:
+                    callback = self._subscribe(conn, request.id, flight)
+                    subscriptions.append((flight, callback))
+            watchers = [
+                asyncio.create_task(
+                    self._watch_job(conn, request, job, flight),
+                    name=f"watch-{request.id}-{job.workload}",
+                )
+                for job, flight in flights
+            ]
+            statuses = await asyncio.gather(*watchers)
+            await self._send(
+                conn,
+                {
+                    "type": "done",
+                    "id": request.id,
+                    "jobs": len(statuses),
+                    "cached": statuses.count("cached"),
+                    "simulated": statuses.count("simulated"),
+                    "failed": statuses.count("failed"),
+                },
+            )
+        except asyncio.CancelledError:
+            await self._send(
+                conn,
+                ServeError(
+                    "cancelled", f"request {request.id} cancelled"
+                ).as_message(request.id),
+            )
+        except ServeError as error:
+            await self._send(conn, error.as_message(request.id))
+        except (ConnectionError, OSError):
+            pass  # the client is gone; the finally block cleans up
+        finally:
+            for flight, callback in subscriptions:
+                try:
+                    flight.subscribers.remove(callback)
+                except ValueError:
+                    pass
+            for _job, flight in flights:
+                self.scheduler.release(flight)
+
+    def _subscribe(
+        self, conn: _Connection, request_id: str, flight: Flight
+    ) -> Callable[[dict[str, Any]], None]:
+        """Forward a flight's progress events to this request's stream."""
+
+        def callback(event: dict[str, Any]) -> None:
+            message = {"type": "event", "id": request_id, **event}
+            asyncio.get_running_loop().create_task(self._send(conn, message))
+
+        flight.subscribers.append(callback)
+        return callback
+
+    async def _watch_job(
+        self,
+        conn: _Connection,
+        request: RunRequest,
+        job: SimJob,
+        flight: Flight,
+    ) -> str:
+        """Await one flight, streaming its telemetry and final line."""
+        try:
+            outcome = await flight.wait()
+        except ServeError as error:
+            message = error.as_message(request.id)
+            message["key"] = job.key
+            message["workload"] = job.workload
+            await self._send(conn, message)
+            return "failed"
+        if request.stream:
+            events = [
+                _stream.job_finished_event(
+                    job.key, job.workload, outcome.cached, outcome.seconds
+                )
+            ]
+            events.extend(
+                _stream.interval_events(job.key, job.workload, outcome.result.intervals)
+            )
+            if outcome.taxonomy is not None:
+                events.append(
+                    _stream.taxonomy_event(job.key, job.workload, outcome.taxonomy)
+                )
+            for event in events:
+                await self._send(conn, {"type": "event", "id": request.id, **event})
+        summary = result_summary(job, outcome.result, outcome.cached)
+        summary["source"] = outcome.source
+        summary["seconds"] = round(outcome.seconds, 4)
+        await self._send(conn, {"type": "result", "id": request.id, **summary})
+        return "cached" if outcome.cached else "simulated"
+
+    # -- plumbing -----------------------------------------------------------
+
+    async def _send(self, conn: _Connection, message: dict[str, Any]) -> None:
+        try:
+            async with conn.lock:
+                conn.writer.write(encode_message(message))
+                await conn.writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client gone; request teardown happens in _handle_client

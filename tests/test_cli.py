@@ -109,13 +109,49 @@ class TestCacheCommand:
         assert main(["cache", "verify"]) == 1
         out = capsys.readouterr().out
         assert "ok      1" in out and "corrupt 1" in out
-        assert main(["cache", "verify", "--fix"]) == 0
+        # --fix deletes the bad entry but still exits non-zero: scripts
+        # gate on "corruption was found", not "the cache is clean now".
+        assert main(["cache", "verify", "--fix"]) == 1
         assert not bad.exists()
         assert main(["cache", "verify"]) == 0
 
     def test_action_required(self):
         with pytest.raises(SystemExit):
             main(["cache"])
+
+
+class TestVerifyCommand:
+    def test_list_faults_includes_service_registry(self, capsys):
+        assert main(["verify", "--list-faults"]) == 0
+        out = capsys.readouterr().out
+        # Model faults (PR 2 registry) and service faults side by side.
+        assert "worker-killed" in out
+        assert "slow-worker" in out
+        assert "expected: error code worker-crash" in out
+
+    def test_unknown_fault_exits_two(self, capsys):
+        assert main(["verify", "--inject", "no-such-fault"]) == 2
+        assert "unknown fault" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_argument_parsing(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["serve", "--port", "7000", "--shards", "3", "--mode", "thread",
+             "--job-timeout", "5.5", "--max-pending", "64"]
+        )
+        assert args.command == "serve"
+        assert args.port == 7000 and args.shards == 3
+        assert args.mode == "thread" and args.job_timeout == 5.5
+        assert args.max_pending == 64
+
+    def test_bad_mode_rejected(self):
+        from repro.cli import _build_parser
+
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["serve", "--mode", "fibers"])
 
 
 class TestExportCommand:

@@ -17,10 +17,12 @@ import pytest
 
 import repro.analysis.runner as runner
 from repro.analysis.parallel import (
+    JobTimeoutError,
     ParallelExecutionError,
     ParallelRunner,
     SimJob,
     resolve_job_count,
+    resolve_job_timeout,
     run_jobs,
 )
 from repro.core import SimConfig
@@ -222,4 +224,71 @@ class TestRunJobsHelper:
     def test_run_jobs_wrapper(self, fresh_cache):
         job = SimJob("fp_01", SimConfig(), N_INSTRUCTIONS)
         results = run_jobs([job], workers=1)
+        assert results[job.key].name == "fp_01"
+
+
+def _wedged_execute(workload, config, n_instructions):
+    """Module-level (picklable) stand-in for ``_execute_job`` that wedges
+    on one workload — pool workers resolve it by qualified name."""
+    import repro.analysis.parallel as parallel
+
+    if workload == "int_02":
+        time.sleep(60.0)  # far past the test timeout; the pool is killed
+    return parallel._original_execute_job(workload, config, n_instructions)
+
+
+class TestJobTimeout:
+    def test_resolution_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_JOB_TIMEOUT", raising=False)
+        assert resolve_job_timeout() is None
+        assert resolve_job_timeout(2.5) == 2.5
+        monkeypatch.setenv("REPRO_SIM_JOB_TIMEOUT", "7")
+        assert resolve_job_timeout() == 7.0
+        assert resolve_job_timeout(2.5) == 2.5  # explicit arg wins
+        for garbage in ("0", "-3", "soon", ""):
+            monkeypatch.setenv("REPRO_SIM_JOB_TIMEOUT", garbage)
+            assert resolve_job_timeout() is None
+
+    def test_runner_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_JOB_TIMEOUT", "9.5")
+        assert ParallelRunner(jobs=2).job_timeout == 9.5
+        assert ParallelRunner(jobs=2, job_timeout=1.0).job_timeout == 1.0
+
+    def test_wedged_job_fails_cleanly(self, fresh_cache, monkeypatch):
+        import repro.analysis.parallel as parallel
+
+        monkeypatch.setattr(
+            parallel, "_original_execute_job", parallel._execute_job,
+            raising=False,
+        )
+        monkeypatch.setattr(parallel, "_execute_job", _wedged_execute)
+        engine = ParallelRunner(jobs=2, job_timeout=1.5)
+        good = SimJob("fp_01", SimConfig(), N_INSTRUCTIONS)
+        wedged = SimJob("int_02", SimConfig(), N_INSTRUCTIONS)
+        start = time.perf_counter()
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            engine.run([good, wedged])
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0  # abandoned, not awaited for 60s
+        failures = excinfo.value.failures
+        assert len(failures) == 1
+        job, error = failures[0]
+        assert job.key == wedged.key
+        assert isinstance(error, JobTimeoutError)
+        assert "per-job timeout" in str(error)
+        assert engine.stats.counters["jobs_timed_out"] == 1
+        # The healthy job completed and is cached: a retry is a pure hit.
+        retry = ParallelRunner(jobs=2)
+        retry.run([good])
+        assert retry.stats.counters["jobs_simulated"] == 0
+        # The wedged key never produced a (possibly truncated) entry.
+        report = runner.verify_disk_cache()
+        assert report["corrupt"] == []
+
+    def test_serial_path_ignores_timeout(self, fresh_cache):
+        # The in-process fallback cannot abandon a job; a tiny timeout
+        # must not fail healthy serial runs.
+        engine = ParallelRunner(jobs=1, job_timeout=0.001)
+        job = SimJob("fp_01", SimConfig(), N_INSTRUCTIONS)
+        results = engine.run([job])
         assert results[job.key].name == "fp_01"

@@ -1,0 +1,50 @@
+"""Service-fault injection tests: the server must *contain* failures.
+
+Each registered :class:`~repro.verify.service_faults.ServiceFault` runs
+against a real server with a victim request (hits the fault) and a
+healthy request (shares the server).  The pass criterion is scoping: the
+victim fails with its expected typed error code, the healthy request
+completes, and — where the fault declares a ``followup_code`` — the
+post-failure behaviour (quarantine) holds too.
+
+These are the same scenarios behind ``repro verify --inject``; running
+them under pytest makes fault containment a tier-1 regression property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.protocol import ERROR_CODES
+from repro.verify.service_faults import (
+    SERVICE_FAULTS,
+    run_service_fault,
+)
+
+
+class TestRegistry:
+    def test_registry_is_well_formed(self):
+        assert len(SERVICE_FAULTS) >= 3
+        for name, fault in SERVICE_FAULTS.items():
+            assert fault.name == name
+            assert fault.expected_code in ERROR_CODES
+            assert fault.followup_code is None or fault.followup_code in ERROR_CODES
+            assert fault.mode in ("process", "thread")
+            assert fault.description
+
+    def test_expected_faults_registered(self):
+        assert {"worker-killed", "cache-corrupt-read", "slow-worker"} <= set(
+            SERVICE_FAULTS
+        )
+
+
+class TestInjection:
+    @pytest.mark.parametrize("name", sorted(SERVICE_FAULTS))
+    def test_fault_is_contained(self, name):
+        fault = SERVICE_FAULTS[name]
+        outcome = run_service_fault(name)
+        assert outcome.healthy_ok, (
+            f"healthy request died alongside the {name} fault: {outcome.detail}"
+        )
+        assert outcome.code == fault.expected_code, outcome.detail
+        assert outcome.caught, outcome.render()
