@@ -1,0 +1,182 @@
+"""Workload characterization: the Section III-A table for any trace.
+
+The paper motivates UCP with a datacenter workload characterization —
+instruction footprints versus µ-op cache reach, branch mix, and
+conditional MPKI (Section III).  This module computes the same summary
+for *any* resolvable workload, built-in or ingested, so an imported
+real trace can be placed on the paper's axes before spending simulation
+time on it:
+
+* **footprint** — static instructions / code KB / I-cache lines touched,
+  straight from the trace columns;
+* **branch mix** — per-kilo-instruction rates of every branch class plus
+  the conditional taken rate;
+* **performance** — baseline-config IPC, µ-op cache hit rate and
+  conditional MPKI via :func:`repro.analysis.runner.run_cached` (shared
+  with every experiment, so characterizing a workload warms the same
+  result cache the figures use).
+
+``repro ingest characterize`` and the ``repro metrics --json`` payload
+are thin wrappers over :func:`characterize` / :func:`trace_profile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.instruction import BranchClass
+from repro.isa.trace import Trace
+
+__all__ = [
+    "Characterization",
+    "characterize",
+    "characterize_many",
+    "format_characterization",
+    "trace_profile",
+]
+
+_MIX_CLASSES = (
+    ("cond_pki", (BranchClass.COND_DIRECT,)),
+    ("call_pki", (BranchClass.CALL_DIRECT, BranchClass.CALL_INDIRECT)),
+    ("return_pki", (BranchClass.RETURN,)),
+    (
+        "indirect_pki",
+        (BranchClass.CALL_INDIRECT, BranchClass.INDIRECT, BranchClass.RETURN),
+    ),
+)
+
+
+def trace_profile(trace: Trace) -> dict[str, float | int]:
+    """Footprint and branch-mix summary of one trace (no simulation)."""
+    stats = trace.stats()
+    kilo = max(1, len(trace)) / 1000.0
+    profile: dict[str, float | int] = {
+        "instructions": stats.instructions,
+        "static_instructions": stats.static_instructions,
+        "static_code_kb": round(stats.static_code_bytes / 1024.0, 2),
+        "cache_lines_touched": stats.cache_lines_touched,
+        "branch_pki": round(stats.branches / kilo, 2),
+        "taken_rate": round(stats.conditional_taken_rate, 4),
+    }
+    for key, classes in _MIX_CLASSES:
+        mask = np.isin(trace.branch_classes, [np.uint8(c) for c in classes])
+        profile[key] = round(float(mask.sum()) / kilo, 2)
+    return profile
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """One workload's row in the characterization table."""
+
+    workload: str
+    instructions: int
+    static_code_kb: float
+    cache_lines_touched: int
+    branch_pki: float
+    cond_pki: float
+    call_pki: float
+    return_pki: float
+    indirect_pki: float
+    taken_rate: float
+    # Baseline-simulation metrics; None when simulation was skipped.
+    ipc: float | None = None
+    uop_hit_rate: float | None = None
+    cond_mpki: float | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "workload": self.workload,
+            "instructions": self.instructions,
+            "static_code_kb": self.static_code_kb,
+            "cache_lines_touched": self.cache_lines_touched,
+            "branch_pki": self.branch_pki,
+            "cond_pki": self.cond_pki,
+            "call_pki": self.call_pki,
+            "return_pki": self.return_pki,
+            "indirect_pki": self.indirect_pki,
+            "taken_rate": self.taken_rate,
+            "ipc": self.ipc,
+            "uop_hit_rate": self.uop_hit_rate,
+            "cond_mpki": self.cond_mpki,
+        }
+
+
+def characterize(
+    workload: str, n_instructions: int = 20_000, simulate: bool = True
+) -> Characterization:
+    """Characterize one workload (suite or ingested) at ``n_instructions``.
+
+    With ``simulate=True`` the baseline configuration is run through the
+    shared result cache, so the IPC / hit-rate / MPKI columns are free
+    when the figures already ran (and warm the cache when they haven't).
+    """
+    from repro.workloads.suite import load_workload
+
+    trace = load_workload(workload, n_instructions).trace
+    profile = trace_profile(trace)
+    ipc = uop_hit_rate = cond_mpki = None
+    if simulate:
+        from repro.analysis.runner import run_cached
+        from repro.core.configs import SimConfig
+
+        result = run_cached(workload, SimConfig(), len(trace))
+        ipc = round(result.ipc, 4)
+        uop_hit_rate = round(result.uop_hit_rate, 2)
+        cond_mpki = round(result.cond_mpki, 3)
+    return Characterization(
+        workload=workload,
+        instructions=int(profile["instructions"]),
+        static_code_kb=float(profile["static_code_kb"]),
+        cache_lines_touched=int(profile["cache_lines_touched"]),
+        branch_pki=float(profile["branch_pki"]),
+        cond_pki=float(profile["cond_pki"]),
+        call_pki=float(profile["call_pki"]),
+        return_pki=float(profile["return_pki"]),
+        indirect_pki=float(profile["indirect_pki"]),
+        taken_rate=float(profile["taken_rate"]),
+        ipc=ipc,
+        uop_hit_rate=uop_hit_rate,
+        cond_mpki=cond_mpki,
+    )
+
+
+def characterize_many(
+    workloads: list[str], n_instructions: int = 20_000, simulate: bool = True
+) -> list[Characterization]:
+    """Characterize several workloads (rows in input order)."""
+    return [characterize(name, n_instructions, simulate) for name in workloads]
+
+
+def format_characterization(rows: list[Characterization]) -> str:
+    """Render characterization rows as the standard experiment table."""
+    from repro.analysis.tables import format_table
+
+    def _opt(value: float | None, fmt: str) -> str:
+        return "-" if value is None else format(value, fmt)
+
+    table_rows = [
+        (
+            row.workload,
+            f"{row.static_code_kb:.0f}KB",
+            row.cache_lines_touched,
+            f"{row.branch_pki:.0f}",
+            f"{row.cond_pki:.0f}",
+            f"{row.call_pki:.0f}",
+            f"{row.indirect_pki:.0f}",
+            f"{row.taken_rate:.2f}",
+            _opt(row.ipc, ".3f"),
+            _opt(row.uop_hit_rate, ".1f"),
+            _opt(row.cond_mpki, ".2f"),
+        )
+        for row in rows
+    ]
+    return format_table(
+        "Workload characterization (baseline config)",
+        [
+            "workload", "code", "lines", "br PKI", "cond", "call",
+            "ind", "taken", "IPC", "uop hit", "MPKI",
+        ],
+        table_rows,
+    )

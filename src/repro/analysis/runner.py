@@ -70,8 +70,17 @@ def _cache_dir() -> Path:
 
 
 def cache_key(workload: str, n_instructions: int, config: SimConfig) -> str:
-    """Stable content key for one (workload, config, length) simulation."""
-    blob = f"v{CACHE_VERSION}|{workload}|{n_instructions}|{config!r}"
+    """Stable content key for one (workload, config, length) simulation.
+
+    Built-in suite workloads are keyed by name (their traces are
+    deterministic functions of the committed generator), so existing
+    cached results stay valid.  Ingested traces are keyed by
+    ``name@digest`` — the content token from the trace store — so the
+    key tracks the actual trace bytes, not just the label.
+    """
+    from repro.workloads.store import cache_token
+
+    blob = f"v{CACHE_VERSION}|{cache_token(workload)}|{n_instructions}|{config!r}"
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
 
 

@@ -44,8 +44,23 @@ Commands
     Run the asyncio experiment server (:mod:`repro.serve`): NDJSON
     requests over a local TCP socket, single-flight deduplication across
     clients, sharded worker pools, streamed progress events.
+``ingest inspect|convert|characterize``
+    The real-trace frontend (:mod:`repro.isa.ingest`).  ``inspect FILE``
+    detects the container format (ChampSim / CVP-1 / RISC-V / text /
+    npz, optionally gz/xz-wrapped), reads it, and prints the
+    normalization report plus footprint statistics without writing
+    anything.  ``convert FILE --name NAME`` normalises the trace and
+    registers it in the trace store (``.simtraces/`` or
+    ``REPRO_TRACE_DIR``), after which NAME works everywhere a suite
+    workload does — ``simulate``, ``metrics``, experiments, the server —
+    with result-cache keys tied to the trace's content digest.
+    ``characterize [WORKLOAD...]`` prints the Section III-A table
+    (footprint, branch mix, baseline IPC/hit-rate/MPKI) for suite and
+    ingested workloads; ``--json FILE`` dumps the rows.
 ``export WORKLOAD FILE``
-    Materialise a workload trace to ``.npz`` (binary) or ``.txt`` (text).
+    Materialise a workload trace to ``.npz`` (binary), ``.txt`` (text),
+    ``.champsim``/``.bin`` (ChampSim), ``.cvp`` (CVP-1) or ``.rv``
+    (RISC-V stream); ``.gz``/``.xz`` wrapping inferred from the name.
 ``lint [PATHS...]``
     Run the simulator-aware static-analysis pass (:mod:`repro.lint`)
     over ``src/`` (or the given paths): determinism, hook-gating, and
@@ -62,7 +77,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import SimConfig, simulate
+from repro.core import SimConfig
 from repro.core.configs import config_from_spec
 from repro.workloads import SUITE, load_workload
 
@@ -173,6 +188,19 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="parallel simulation workers (default: REPRO_SIM_JOBS or CPU count)",
     )
+    experiment.add_argument(
+        "--workloads",
+        nargs="+",
+        metavar="NAME",
+        help="run on a custom workload set (suite or ingested names) "
+        "instead of the quick/full scale",
+    )
+    experiment.add_argument(
+        "--instructions",
+        type=int,
+        metavar="N",
+        help="trace length for a custom scale (default: the scale's own)",
+    )
 
     cache = commands.add_parser("cache", help="manage the simulation result cache")
     cache_actions = cache.add_subparsers(dest="cache_action", required=True)
@@ -247,9 +275,72 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     export = commands.add_parser("export", help="export a workload trace")
-    export.add_argument("workload", choices=sorted(SUITE))
+    export.add_argument("workload", metavar="WORKLOAD")
     export.add_argument("path")
     export.add_argument("--instructions", type=int, default=20_000)
+
+    ingest = commands.add_parser(
+        "ingest", help="inspect, convert, or characterize real traces"
+    )
+    ingest_actions = ingest.add_subparsers(dest="ingest_action", required=True)
+
+    inspect = ingest_actions.add_parser(
+        "inspect", help="detect and read a trace file, print its shape"
+    )
+    inspect.add_argument("file")
+    inspect.add_argument(
+        "--format",
+        choices=["champsim", "cvp", "riscv", "text", "npz"],
+        help="container format (default: infer from the file name)",
+    )
+    inspect.add_argument(
+        "--instructions",
+        type=int,
+        metavar="N",
+        help="read at most N instructions",
+    )
+
+    convert = ingest_actions.add_parser(
+        "convert", help="normalise a trace file and register it as a workload"
+    )
+    convert.add_argument("file")
+    convert.add_argument(
+        "--name",
+        required=True,
+        help="workload name to register (letters, digits, '_', '-')",
+    )
+    convert.add_argument(
+        "--format",
+        choices=["champsim", "cvp", "riscv", "text", "npz"],
+        help="container format (default: infer from the file name)",
+    )
+    convert.add_argument(
+        "--instructions",
+        type=int,
+        metavar="N",
+        help="ingest at most N instructions",
+    )
+
+    characterize = ingest_actions.add_parser(
+        "characterize",
+        help="print footprint / branch-mix / baseline-MPKI rows",
+    )
+    characterize.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="WORKLOAD",
+        help="workload names, suite or ingested (default: every ingested "
+        "trace, or the quick scale when none are registered)",
+    )
+    characterize.add_argument("--instructions", type=int, default=20_000)
+    characterize.add_argument(
+        "--no-simulate",
+        action="store_true",
+        help="skip the baseline simulation columns (trace-only statistics)",
+    )
+    characterize.add_argument(
+        "--json", metavar="FILE", help="also write the rows as JSON"
+    )
 
     lint = commands.add_parser(
         "lint", help="run the simulator-aware static-analysis pass"
@@ -282,7 +373,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _add_config_flags(sub: argparse.ArgumentParser) -> None:
     """Workload + configuration flags shared by ``simulate`` and ``profile``."""
-    sub.add_argument("workload", choices=sorted(SUITE))
+    # No argparse choices: names resolve against the suite *and* the
+    # ingested-trace store at run time (see repro.workloads.suite).
+    sub.add_argument("workload", metavar="WORKLOAD")
     sub.add_argument("--instructions", type=int, default=20_000)
     group = sub.add_mutually_exclusive_group()
     group.add_argument("--no-uop-cache", action="store_true")
@@ -423,11 +516,14 @@ def _metrics(args: argparse.Namespace) -> int:
         import json
 
         path = resolve_output_path(args.json)
+        from repro.analysis.characterize import trace_profile
+
         payload = {
             "workload": args.workload,
             "instructions": args.instructions,
             "intervals": samples,
             "taxonomy": sim.observer.taxonomy.as_dict(),
+            "characterization": trace_profile(trace),
         }
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -483,12 +579,18 @@ def _workloads() -> int:
 
 def _experiment(args: argparse.Namespace) -> int:
     from repro.experiments import FULL, QUICK
+    from repro.experiments.common import Scale
     from repro.experiments.registry import run_experiment
 
-    try:
-        _, rendered = run_experiment(
-            args.name, FULL if args.full else QUICK, jobs=args.jobs
+    scale = FULL if args.full else QUICK
+    if args.workloads or args.instructions:
+        scale = Scale(
+            "custom",
+            tuple(args.workloads) if args.workloads else scale.workloads,
+            args.instructions if args.instructions else scale.n_instructions,
         )
+    try:
+        _, rendered = run_experiment(args.name, scale, jobs=args.jobs)
     except KeyError as error:
         print(error.args[0])
         return 2
@@ -630,15 +732,114 @@ def _serve(args: argparse.Namespace) -> int:
 
 
 def _export(args: argparse.Namespace) -> int:
+    from repro.isa.ingest import detect_format
+    from repro.isa.errors import TraceFormatError
+
     trace = load_workload(args.workload, args.instructions).trace
-    if args.path.endswith(".txt"):
+    try:
+        fmt = detect_format(args.path)
+    except TraceFormatError:
+        fmt = "npz"
+    if fmt == "text":
         from repro.isa.textio import dump_text
 
         dump_text(trace, args.path)
+    elif fmt == "champsim":
+        from repro.isa.champsim import dump_champsim
+
+        dump_champsim(trace, args.path)
+    elif fmt == "cvp":
+        from repro.isa.cvp import dump_cvp
+
+        dump_cvp(trace, args.path)
+    elif fmt == "riscv":
+        from repro.isa.riscv import dump_riscv
+
+        dump_riscv(trace, args.path)
     else:
         trace.save(args.path)
-    print(f"wrote {len(trace)} instructions to {args.path}")
+    print(f"wrote {len(trace)} instructions to {args.path} ({fmt})")
     return 0
+
+
+def _ingest(args: argparse.Namespace) -> int:
+    from repro.isa.errors import TraceFormatError
+
+    if args.ingest_action == "inspect":
+        from repro.analysis.characterize import trace_profile
+        from repro.isa.ingest import load_any
+
+        try:
+            result = load_any(
+                args.file, fmt=args.format, max_instructions=args.instructions
+            )
+        except TraceFormatError as error:
+            print(f"ingest: {error}", file=sys.stderr)
+            return 1
+        print(f"file           {args.file}")
+        print(f"format         {result.format}")
+        print(f"normalization  {result.report.render()}")
+        for key, value in trace_profile(result.trace).items():
+            print(f"{key:22s} {value}")
+        return 0
+
+    if args.ingest_action == "convert":
+        from repro.isa.ingest import load_any
+        from repro.workloads.store import ingest_trace, store_dir
+
+        try:
+            result = load_any(
+                args.file,
+                fmt=args.format,
+                max_instructions=args.instructions,
+                name=args.name,
+            )
+            meta = ingest_trace(
+                result.trace, args.name, result.format, source_path=str(args.file)
+            )
+        except (TraceFormatError, ValueError) as error:
+            print(f"ingest: {error}", file=sys.stderr)
+            return 1
+        print(f"registered     {meta.name} ({meta.instructions} instructions)")
+        print(f"source         {args.file} ({result.format})")
+        print(f"normalization  {result.report.render()}")
+        print(f"digest         {meta.digest}")
+        print(f"store          {store_dir()}")
+        print(f"\nrun it with: repro simulate {meta.name}")
+        return 0
+
+    if args.ingest_action == "characterize":
+        from repro.analysis.characterize import (
+            characterize_many,
+            format_characterization,
+        )
+        from repro.workloads.store import ingested_names
+
+        names = args.workloads or ingested_names()
+        if not names:
+            from repro.experiments import QUICK
+
+            names = list(QUICK.workloads)
+        try:
+            rows = characterize_many(
+                names, args.instructions, simulate=not args.no_simulate
+            )
+        except (KeyError, TraceFormatError) as error:
+            print(f"ingest: {error.args[0]}", file=sys.stderr)
+            return 1
+        print(format_characterization(rows))
+        if args.json:
+            import json
+
+            from repro.common.output import resolve_output_path
+
+            path = resolve_output_path(args.json)
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump([row.as_dict() for row in rows], handle, indent=2)
+                handle.write("\n")
+            print(f"\nwrote {path}")
+        return 0
+    raise AssertionError(f"unhandled ingest action {args.ingest_action}")
 
 
 def _lint(args: argparse.Namespace) -> int:
@@ -693,28 +894,36 @@ def _lint(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "workloads":
-        return _workloads()
-    if args.command == "simulate":
-        return _simulate(args)
-    if args.command == "profile":
-        return _profile(args)
-    if args.command == "trace":
-        return _trace(args)
-    if args.command == "metrics":
-        return _metrics(args)
-    if args.command == "experiment":
-        return _experiment(args)
-    if args.command == "verify":
-        return _verify(args)
-    if args.command == "cache":
-        return _cache(args)
-    if args.command == "serve":
-        return _serve(args)
-    if args.command == "export":
-        return _export(args)
-    if args.command == "lint":
-        return _lint(args)
+    try:
+        if args.command == "workloads":
+            return _workloads()
+        if args.command == "simulate":
+            return _simulate(args)
+        if args.command == "profile":
+            return _profile(args)
+        if args.command == "trace":
+            return _trace(args)
+        if args.command == "metrics":
+            return _metrics(args)
+        if args.command == "experiment":
+            return _experiment(args)
+        if args.command == "verify":
+            return _verify(args)
+        if args.command == "cache":
+            return _cache(args)
+        if args.command == "serve":
+            return _serve(args)
+        if args.command == "export":
+            return _export(args)
+        if args.command == "ingest":
+            return _ingest(args)
+        if args.command == "lint":
+            return _lint(args)
+    except KeyError as error:
+        # Workload names resolve at run time (suite + ingested store);
+        # an unknown name lands here with a choose-from message.
+        print(error.args[0], file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -6,7 +6,22 @@ We adopt the same convention: every trace record is one instruction == one
 µ-op at a 4-byte-aligned PC.
 """
 
+from repro.isa.errors import TraceFormatError
+from repro.isa.ingest import IngestResult, detect_format, load_any
 from repro.isa.instruction import INSTRUCTION_SIZE, BranchClass, TraceEntry
+from repro.isa.normalize import NormalizationReport, normalize_trace
 from repro.isa.trace import Trace, TraceStats
 
-__all__ = ["BranchClass", "TraceEntry", "Trace", "TraceStats", "INSTRUCTION_SIZE"]
+__all__ = [
+    "BranchClass",
+    "TraceEntry",
+    "Trace",
+    "TraceStats",
+    "INSTRUCTION_SIZE",
+    "TraceFormatError",
+    "IngestResult",
+    "NormalizationReport",
+    "detect_format",
+    "load_any",
+    "normalize_trace",
+]

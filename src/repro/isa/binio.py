@@ -1,0 +1,143 @@
+"""Shared binary I/O for trace readers: compressed envelopes, exact reads.
+
+All on-disk trace formats this package reads come either raw or wrapped
+in a gzip/lzma envelope selected by file suffix.  :class:`TraceReader`
+centralises three things every reader needs:
+
+* **envelope handling** — ``.gz``/``.xz`` suffixes transparently
+  decompress; anything codec-level that goes wrong (bad magic, corrupt
+  stream, truncated member) surfaces as :class:`TraceFormatError`, never
+  as ``gzip.BadGzipFile`` / ``lzma.LZMAError`` / ``EOFError``;
+* **exact reads** — :meth:`TraceReader.read_exact` either returns the
+  requested bytes or raises a :class:`TraceFormatError` carrying the
+  byte offset of the truncation;
+* **offset tracking** — errors point at the record that failed, not just
+  the file.
+
+Writers get the mirror-image :func:`open_for_write`; gzip output pins
+``mtime=0`` so identical traces produce bit-identical files (the golden
+fixtures and the result-cache determinism contract both rely on it).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import lzma
+import zlib
+from pathlib import Path
+from types import TracebackType
+
+from repro.isa.errors import TraceFormatError
+
+__all__ = ["TraceReader", "open_for_write"]
+
+#: Exceptions a corrupt or truncated compressed stream can raise on read.
+_ENVELOPE_ERRORS = (OSError, EOFError, lzma.LZMAError, zlib.error)
+
+
+def _open_raw(path: Path) -> io.BufferedIOBase:
+    if path.suffix == ".xz":
+        return lzma.open(path, "rb")
+    if path.suffix == ".gz":
+        return gzip.open(path, "rb")
+    return path.open("rb")
+
+
+class TraceReader:
+    """A positioned, envelope-aware byte reader for one trace file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.offset = 0
+        try:
+            self._handle = _open_raw(self.path)
+        except _ENVELOPE_ERRORS as error:
+            raise TraceFormatError(
+                f"cannot open: {error}", path=str(self.path)
+            ) from error
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except _ENVELOPE_ERRORS:
+            # A corrupt gzip trailer surfaces on close; the payload read
+            # already either succeeded or raised, so swallow it.
+            pass
+
+    def read(self, n: int) -> bytes:
+        """Read up to ``n`` bytes; decompression faults become typed errors."""
+        try:
+            blob = self._handle.read(n)
+        except _ENVELOPE_ERRORS as error:
+            raise TraceFormatError(
+                f"corrupt envelope: {error}",
+                path=str(self.path),
+                offset=self.offset,
+            ) from error
+        self.offset += len(blob)
+        return blob
+
+    def read_exact(self, n: int, what: str) -> bytes:
+        """Read exactly ``n`` bytes or raise a typed truncation error."""
+        blob = self.read(n)
+        if len(blob) != n:
+            raise TraceFormatError(
+                f"truncated {what}: wanted {n} bytes, got {len(blob)}",
+                path=str(self.path),
+                offset=self.offset - len(blob),
+            )
+        return blob
+
+    def read_record(self, n: int, what: str) -> bytes | None:
+        """Read one fixed-size record; ``None`` at a clean EOF, typed error
+        on a trailing partial record."""
+        blob = self.read(n)
+        if not blob:
+            return None
+        if len(blob) != n:
+            raise TraceFormatError(
+                f"truncated {what}: wanted {n} bytes, got {len(blob)}",
+                path=str(self.path),
+                offset=self.offset - len(blob),
+            )
+        return blob
+
+
+class _DeterministicGzipWriter(gzip.GzipFile):
+    """Gzip writer with ``mtime=0`` that owns (and closes) its file."""
+
+    def __init__(self, path: Path) -> None:
+        self._raw = path.open("wb")
+        super().__init__(filename="", mode="wb", fileobj=self._raw, mtime=0)
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._raw.close()
+
+
+def open_for_write(path: str | Path) -> io.BufferedIOBase:
+    """Open ``path`` for binary writing, compressing by suffix.
+
+    Gzip output is written with ``mtime=0`` so repeated dumps of the same
+    trace are bit-identical (fixture and cache determinism).
+    """
+    path = Path(path)
+    if path.suffix == ".xz":
+        return lzma.open(path, "wb")
+    if path.suffix == ".gz":
+        return _DeterministicGzipWriter(path)
+    return path.open("wb")

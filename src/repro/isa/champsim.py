@@ -29,12 +29,11 @@ variable-length streams import, but fall-through PCs are approximated as
 
 from __future__ import annotations
 
-import gzip
-import io
-import lzma
 import struct
 from pathlib import Path
 
+from repro.isa.binio import TraceReader, open_for_write
+from repro.isa.errors import TraceFormatError
 from repro.isa.instruction import BranchClass
 from repro.isa.trace import Trace
 
@@ -47,13 +46,8 @@ REG_STACK_POINTER = 6
 REG_FLAGS = 25
 REG_INSTRUCTION_POINTER = 26
 
-
-def _open(path: Path) -> io.BufferedIOBase:
-    if path.suffix == ".xz":
-        return lzma.open(path, "rb")
-    if path.suffix == ".gz":
-        return gzip.open(path, "rb")
-    return path.open("rb")
+#: Addresses must fit the signed-int64 trace columns.
+MAX_ADDRESS = (1 << 63) - 1
 
 
 def _classify(
@@ -88,6 +82,10 @@ def load_champsim(
     ``instruction_size`` is used to synthesise not-taken fall-through
     targets and to align PCs (the fixed-length model requires 4-byte
     alignment, so PCs are truncated to the alignment grid).
+
+    Raises :class:`~repro.isa.errors.TraceFormatError` on any malformed
+    input: a trailing partial record, or a corrupt/truncated gzip or
+    lzma envelope.
     """
     path = Path(path)
     pcs: list[int] = []
@@ -95,15 +93,24 @@ def load_champsim(
     takens: list[bool] = []
     targets: list[int] = []
 
-    with _open(path) as handle:
+    with TraceReader(path) as reader:
         raw_next: bytes | None = None
         while max_instructions is None or len(pcs) < max_instructions:
-            raw = raw_next if raw_next is not None else handle.read(RECORD_BYTES)
-            raw_next = None
-            if len(raw) < RECORD_BYTES:
-                break
+            if raw_next is not None:
+                raw, raw_next = raw_next, None
+            else:
+                maybe = reader.read_record(RECORD_BYTES, "input_instr record")
+                if maybe is None:
+                    break
+                raw = maybe
             fields = _RECORD.unpack(raw)
             ip = fields[0] & ~(instruction_size - 1)
+            if ip > MAX_ADDRESS:
+                raise TraceFormatError(
+                    f"ip {ip:#x} out of range",
+                    path=str(path),
+                    offset=reader.offset - RECORD_BYTES,
+                )
             is_branch = bool(fields[1])
             taken = bool(fields[2])
             dst = fields[3:5]
@@ -128,9 +135,15 @@ def load_champsim(
             )
             # The target is the next record's ip (ChampSim traces don't
             # store targets); peek ahead.
-            raw_next = handle.read(RECORD_BYTES)
-            if len(raw_next) >= RECORD_BYTES:
+            raw_next = reader.read_record(RECORD_BYTES, "input_instr record")
+            if raw_next is not None:
                 next_ip = struct.unpack_from("<Q", raw_next)[0] & ~(instruction_size - 1)
+                if next_ip > MAX_ADDRESS:
+                    raise TraceFormatError(
+                        f"ip {next_ip:#x} out of range",
+                        path=str(path),
+                        offset=reader.offset - RECORD_BYTES,
+                    )
             else:
                 next_ip = ip + instruction_size
                 taken = False  # final record: force a consistent fall-through
@@ -164,7 +177,7 @@ def dump_champsim(trace: Trace, path: str | Path) -> None:
     """Write a :class:`Trace` in ChampSim binary format (for round-trips
     and for feeding this suite's synthetic workloads to ChampSim itself)."""
     path = Path(path)
-    with _open_for_write(path) as handle:
+    with open_for_write(path) as handle:
         for i in range(len(trace)):
             branch_class = BranchClass(int(trace.branch_classes[i]))
             dst = [0, 0]
@@ -198,11 +211,3 @@ def dump_champsim(trace: Trace, path: str | Path) -> None:
                 0,
             )
             handle.write(record)
-
-
-def _open_for_write(path: Path) -> io.BufferedIOBase:
-    if path.suffix == ".xz":
-        return lzma.open(path, "wb")
-    if path.suffix == ".gz":
-        return gzip.open(path, "wb")
-    return path.open("wb")

@@ -1,0 +1,262 @@
+"""CVP-1 trace import/export.
+
+The paper evaluates on the CVP-1 championship trace set (ARMv8 datacenter
+traces collected by Qualcomm) converted to ChampSim format.  This module
+reads the CVP-1 side of that pipeline directly: the variable-length
+binary records of the CVP-1 simulation kit, one per retired instruction::
+
+    pc          : uint64 LE
+    insn_class  : uint8            (InstClass below)
+    [ea, size]  : uint64, uint8    (loadInstClass / storeInstClass only)
+    [taken]     : uint8            (branch classes only)
+    [target]    : uint64           (branches, when taken)
+    n_in        : uint8
+    in_regs     : n_in x uint8
+    n_out       : uint8
+    out_regs    : n_out x uint8
+    out_values  : n_out x uint64
+
+CVP-1 does not carry an explicit call/return taxonomy — the kit only
+distinguishes conditional, unconditional-direct and unconditional-
+indirect branches.  Like the CVP-1→ChampSim converters we recover the
+finer classes from the *register map*: ARMv8 calls (``BL``/``BLR``)
+write the link register X30, and returns (``RET``) read it.  That is the
+branch-class inference half of the normalisation contract; fall-through
+and target repair happen in :mod:`repro.isa.normalize`.
+
+All malformed input raises :class:`~repro.isa.errors.TraceFormatError`:
+truncated records, implausible register counts, unknown instruction
+classes, corrupt compression envelopes.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+from pathlib import Path
+
+import numpy as np
+
+from repro.isa.binio import TraceReader, open_for_write
+from repro.isa.errors import TraceFormatError
+from repro.isa.instruction import BranchClass
+from repro.isa.trace import Trace
+
+__all__ = ["InstClass", "LINK_REGISTER", "load_cvp", "dump_cvp"]
+
+
+class InstClass(IntEnum):
+    """CVP-1 instruction classes (the simulation kit's ``InstClass``)."""
+
+    ALU = 0
+    LOAD = 1
+    STORE = 2
+    COND_BRANCH = 3
+    UNCOND_DIRECT_BRANCH = 4
+    UNCOND_INDIRECT_BRANCH = 5
+    FP = 6
+    SLOW_ALU = 7
+
+    @property
+    def is_branch(self) -> bool:
+        return self in (
+            InstClass.COND_BRANCH,
+            InstClass.UNCOND_DIRECT_BRANCH,
+            InstClass.UNCOND_INDIRECT_BRANCH,
+        )
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (InstClass.LOAD, InstClass.STORE)
+
+
+#: ARMv8 link register: written by calls, read by returns.
+LINK_REGISTER = 30
+
+#: Register lists past this length mean a corrupt record, not a real
+#: ARMv8 instruction (the kit's own cap is far lower).
+MAX_REGS = 16
+
+_U64 = struct.Struct("<Q")
+_U8 = struct.Struct("<B")
+
+
+def _classify(
+    insn_class: InstClass, in_regs: tuple[int, ...], out_regs: tuple[int, ...]
+) -> BranchClass:
+    """Branch taxonomy from the CVP class plus the ARMv8 register map."""
+    if insn_class is InstClass.COND_BRANCH:
+        return BranchClass.COND_DIRECT
+    if insn_class is InstClass.UNCOND_DIRECT_BRANCH:
+        if LINK_REGISTER in out_regs:
+            return BranchClass.CALL_DIRECT
+        return BranchClass.UNCOND_DIRECT
+    if LINK_REGISTER in out_regs:
+        return BranchClass.CALL_INDIRECT
+    if LINK_REGISTER in in_regs:
+        return BranchClass.RETURN
+    return BranchClass.INDIRECT
+
+
+#: Addresses must fit the signed-int64 trace columns; real ARMv8 user
+#: PCs are far below this.
+MAX_ADDRESS = (1 << 63) - 1
+
+
+def _check_address(value: int, what: str, reader: TraceReader) -> int:
+    if value > MAX_ADDRESS:
+        raise TraceFormatError(
+            f"{what} {value:#x} out of range",
+            path=str(reader.path),
+            offset=reader.offset - 8,
+        )
+    return value
+
+
+def _read_u8(reader: TraceReader, what: str) -> int:
+    value: int = _U8.unpack(reader.read_exact(1, what))[0]
+    return value
+
+
+def _read_u64(reader: TraceReader, what: str) -> int:
+    value: int = _U64.unpack(reader.read_exact(8, what))[0]
+    return value
+
+
+def _read_regs(reader: TraceReader, what: str) -> tuple[int, ...]:
+    count = _read_u8(reader, f"{what} count")
+    if count > MAX_REGS:
+        raise TraceFormatError(
+            f"implausible {what} count {count} (max {MAX_REGS})",
+            path=str(reader.path),
+            offset=reader.offset - 1,
+        )
+    regs = reader.read_exact(count, f"{what} list")
+    return tuple(regs)
+
+
+def load_cvp(
+    path: str | Path,
+    max_instructions: int | None = None,
+    name: str | None = None,
+) -> Trace:
+    """Read a CVP-1 binary trace into a :class:`Trace`.
+
+    The returned trace is *raw*: PCs keep the recorded values and
+    not-taken conditionals keep target 0.  Run it through
+    :func:`repro.isa.normalize.normalize_trace` (or load via
+    :func:`repro.isa.ingest.load_any`) before simulation.
+    """
+    path = Path(path)
+    pcs: list[int] = []
+    classes: list[int] = []
+    takens: list[bool] = []
+    targets: list[int] = []
+
+    with TraceReader(path) as reader:
+        while max_instructions is None or len(pcs) < max_instructions:
+            first = reader.read_record(8, "record pc")
+            if first is None:
+                break
+            pc: int = _check_address(_U64.unpack(first)[0], "pc", reader)
+            class_byte = _read_u8(reader, "instruction class")
+            try:
+                insn_class = InstClass(class_byte)
+            except ValueError:
+                raise TraceFormatError(
+                    f"unknown instruction class {class_byte}",
+                    path=str(reader.path),
+                    offset=reader.offset - 1,
+                ) from None
+
+            if insn_class.is_memory:
+                _read_u64(reader, "effective address")
+                _read_u8(reader, "access size")
+
+            taken = False
+            target = 0
+            if insn_class.is_branch:
+                taken = _read_u8(reader, "taken flag") != 0
+                if insn_class is not InstClass.COND_BRANCH and not taken:
+                    raise TraceFormatError(
+                        "unconditional branch recorded as not taken",
+                        path=str(reader.path),
+                        offset=reader.offset - 1,
+                    )
+                if taken:
+                    target = _check_address(
+                        _read_u64(reader, "branch target"), "branch target", reader
+                    )
+
+            in_regs = _read_regs(reader, "input register")
+            out_regs = _read_regs(reader, "output register")
+            # Output values ride along in the kit's format; the timing
+            # model doesn't consume them, so skip without decoding.
+            reader.read_exact(8 * len(out_regs), "output register values")
+
+            if insn_class.is_branch:
+                branch_class = _classify(insn_class, in_regs, out_regs)
+            else:
+                branch_class = BranchClass.NOT_BRANCH
+                taken = False
+                target = 0
+
+            pcs.append(pc)
+            classes.append(int(branch_class))
+            takens.append(taken)
+            targets.append(target)
+
+    return Trace(
+        name or path.stem,
+        np.array(pcs, dtype=np.int64),
+        np.array(classes, dtype=np.uint8),
+        np.array(takens, dtype=bool),
+        np.array(targets, dtype=np.int64),
+    )
+
+
+#: BranchClass -> (InstClass, in_regs, out_regs) for the writer.
+_ENCODE: dict[BranchClass, tuple[InstClass, tuple[int, ...], tuple[int, ...]]] = {
+    BranchClass.COND_DIRECT: (InstClass.COND_BRANCH, (), ()),
+    BranchClass.UNCOND_DIRECT: (InstClass.UNCOND_DIRECT_BRANCH, (), ()),
+    BranchClass.CALL_DIRECT: (InstClass.UNCOND_DIRECT_BRANCH, (), (LINK_REGISTER,)),
+    BranchClass.CALL_INDIRECT: (
+        InstClass.UNCOND_INDIRECT_BRANCH,
+        (1,),
+        (LINK_REGISTER,),
+    ),
+    BranchClass.INDIRECT: (InstClass.UNCOND_INDIRECT_BRANCH, (1,), ()),
+    BranchClass.RETURN: (InstClass.UNCOND_INDIRECT_BRANCH, (LINK_REGISTER,), ()),
+}
+
+
+def dump_cvp(trace: Trace, path: str | Path) -> None:
+    """Write a :class:`Trace` in the CVP-1 binary record format.
+
+    Non-branches are written as ``ALU``; the memory/value side-channels a
+    real CVP-1 trace carries are not reconstructible from a control-flow
+    trace and are left empty.  Round-trips through :func:`load_cvp` are
+    exact for canonical traces.
+    """
+    path = Path(path)
+    with open_for_write(path) as handle:
+        for i in range(len(trace)):
+            branch_class = BranchClass(int(trace.branch_classes[i]))
+            taken = bool(trace.takens[i])
+            pieces = [_U64.pack(int(trace.pcs[i]))]
+            if branch_class is BranchClass.NOT_BRANCH:
+                pieces.append(_U8.pack(int(InstClass.ALU)))
+                in_regs: tuple[int, ...] = ()
+                out_regs: tuple[int, ...] = ()
+            else:
+                insn_class, in_regs, out_regs = _ENCODE[branch_class]
+                pieces.append(_U8.pack(int(insn_class)))
+                pieces.append(_U8.pack(int(taken)))
+                if taken:
+                    pieces.append(_U64.pack(int(trace.targets[i])))
+            pieces.append(_U8.pack(len(in_regs)))
+            pieces.append(bytes(in_regs))
+            pieces.append(_U8.pack(len(out_regs)))
+            pieces.append(bytes(out_regs))
+            pieces.append(b"\x00" * (8 * len(out_regs)))
+            handle.write(b"".join(pieces))

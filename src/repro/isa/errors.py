@@ -1,0 +1,44 @@
+"""Typed errors for trace import.
+
+Every binary/text trace reader in :mod:`repro.isa` maps *any* malformed
+input — truncated records, corrupt gzip/lzma envelopes, implausible
+headers, undecodable instruction words — to one exception type,
+:class:`TraceFormatError`.  Callers (the ``repro ingest`` CLI, the
+workload store, tests) catch exactly that; ``struct.error``,
+``IndexError``, ``EOFError`` or codec-specific exceptions escaping a
+reader are bugs, and the fuzz suite (``tests/test_ingest_fuzz.py``)
+enforces it.
+
+``TraceFormatError`` subclasses :class:`ValueError` so pre-existing
+callers that caught ``ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TraceFormatError"]
+
+
+class TraceFormatError(ValueError):
+    """A trace file could not be decoded.
+
+    Carries optional context so CLI errors point at the byte, not just
+    the file: ``path`` (source file), ``offset`` (byte offset of the
+    record that failed, when known), and ``detail`` (what went wrong).
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        path: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        self.detail = detail
+        self.path = path
+        self.offset = offset
+        where = ""
+        if path is not None:
+            where = f"{path}: "
+        if offset is not None:
+            where += f"at byte {offset}: "
+        super().__init__(f"{where}{detail}")

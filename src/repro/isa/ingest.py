@@ -1,0 +1,160 @@
+"""Front door for real-trace ingestion: detect, read, normalise.
+
+``load_any`` accepts every trace container this simulator understands,
+picks the right reader, and canonicalises the result through
+:func:`repro.isa.normalize.normalize_trace` so the returned trace drops
+straight into the simulation/cache/serve machinery:
+
+===========  ==========================================  ==================
+format       extensions (optionally ``.gz``/``.xz``)      reader
+===========  ==========================================  ==================
+champsim     ``.bin`` ``.trace`` ``.champsim``           :mod:`repro.isa.champsim`
+cvp          ``.cvp``                                    :mod:`repro.isa.cvp`
+riscv        ``.rv`` ``.riscv``                          :mod:`repro.isa.riscv`
+text         ``.txt``                                    :mod:`repro.isa.textio`
+npz          ``.npz``                                    :meth:`Trace.load`
+===========  ==========================================  ==================
+
+Every failure — unknown container, corrupt envelope, malformed record —
+raises :class:`~repro.isa.errors.TraceFormatError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.isa.errors import TraceFormatError
+from repro.isa.normalize import NormalizationReport, normalize_trace
+from repro.isa.trace import Trace
+
+__all__ = ["FORMATS", "IngestResult", "detect_format", "load_any"]
+
+#: Known container formats, in detection-priority order.
+FORMATS = ("champsim", "cvp", "riscv", "text", "npz")
+
+_EXTENSION_MAP = {
+    ".bin": "champsim",
+    ".trace": "champsim",
+    ".champsim": "champsim",
+    ".cvp": "cvp",
+    ".rv": "riscv",
+    ".riscv": "riscv",
+    ".txt": "text",
+    ".npz": "npz",
+}
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """One ingested trace: canonical columns plus provenance."""
+
+    trace: Trace
+    format: str
+    report: NormalizationReport
+
+
+def detect_format(path: str | Path) -> str:
+    """Infer the container format from the file name.
+
+    ``.gz``/``.xz`` envelope suffixes are stripped first, so
+    ``server.champsim.xz`` and ``server.champsim`` detect identically.
+    """
+    path = Path(path)
+    suffixes = [s.lower() for s in path.suffixes]
+    while suffixes and suffixes[-1] in (".gz", ".xz"):
+        suffixes.pop()
+    if suffixes and suffixes[-1] in _EXTENSION_MAP:
+        return _EXTENSION_MAP[suffixes[-1]]
+    known = ", ".join(sorted(set(_EXTENSION_MAP)))
+    raise TraceFormatError(
+        f"cannot detect trace format from name {path.name!r} "
+        f"(known extensions: {known}; pass an explicit format)",
+        path=str(path),
+    )
+
+
+def _load_raw(
+    path: Path, fmt: str, max_instructions: int | None, name: str | None
+) -> Trace:
+    if fmt == "champsim":
+        from repro.isa.champsim import load_champsim
+
+        return load_champsim(path, max_instructions=max_instructions, name=name)
+    if fmt == "cvp":
+        from repro.isa.cvp import load_cvp
+
+        return load_cvp(path, max_instructions=max_instructions, name=name)
+    if fmt == "riscv":
+        from repro.isa.riscv import load_riscv
+
+        return load_riscv(path, max_instructions=max_instructions, name=name)
+    if fmt == "text":
+        from repro.isa.textio import load_text
+
+        try:
+            trace = load_text(path, name=name)
+        except TraceFormatError:
+            raise
+        except (ValueError, KeyError, OSError) as error:
+            raise TraceFormatError(str(error), path=str(path)) from error
+        return _truncate(trace, max_instructions)
+    if fmt == "npz":
+        try:
+            trace = Trace.load(path)
+        except TraceFormatError:
+            raise
+        except Exception as error:
+            # np.load surfaces zipfile/pickle/key errors for corrupt
+            # containers; fold them all into the typed error.
+            raise TraceFormatError(
+                f"corrupt npz container: {error}", path=str(path)
+            ) from error
+        if name is not None:
+            trace = Trace(
+                name, trace.pcs, trace.branch_classes, trace.takens, trace.targets
+            )
+        return _truncate(trace, max_instructions)
+    raise TraceFormatError(f"unknown trace format {fmt!r} (known: {', '.join(FORMATS)})")
+
+
+def _truncate(trace: Trace, max_instructions: int | None) -> Trace:
+    if max_instructions is None or len(trace) <= max_instructions:
+        return trace
+    return Trace(
+        trace.name,
+        trace.pcs[:max_instructions],
+        trace.branch_classes[:max_instructions],
+        trace.takens[:max_instructions],
+        trace.targets[:max_instructions],
+    )
+
+
+def load_any(
+    path: str | Path,
+    fmt: str | None = None,
+    max_instructions: int | None = None,
+    name: str | None = None,
+    normalize: bool = True,
+) -> IngestResult:
+    """Read ``path`` in any supported format and canonicalise it.
+
+    ``fmt`` overrides extension-based detection.  With ``normalize=False``
+    the raw reader output is returned (useful for inspecting how far an
+    import deviates before repair); the report is then computed against a
+    throw-away normalisation pass so callers still see the deviation
+    counts.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError("no such file", path=str(path))
+    chosen = fmt if fmt is not None else detect_format(path)
+    if chosen not in FORMATS:
+        raise TraceFormatError(
+            f"unknown trace format {chosen!r} (known: {', '.join(FORMATS)})"
+        )
+    raw = _load_raw(path, chosen, max_instructions, name)
+    normalized, report = normalize_trace(raw)
+    return IngestResult(
+        trace=normalized if normalize else raw, format=chosen, report=report
+    )

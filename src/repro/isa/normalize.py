@@ -1,0 +1,186 @@
+"""Canonicalisation of imported traces.
+
+Every ingestion frontend (:mod:`repro.isa.champsim`, :mod:`repro.isa.cvp`,
+:mod:`repro.isa.riscv`, :mod:`repro.isa.textio`) produces a *raw* trace:
+PCs may be unaligned, recorded targets may disagree with the dynamic
+path, taken flags may be inconsistent, and straight-line records may
+hide control transfers (e.g. exceptions or unrecorded branches).  The
+simulator's contract — :meth:`repro.isa.trace.Trace.validate` — is much
+stricter: the stream must be a *connected* dynamic path in which every
+``next_pc`` equals the following record's PC and every unconditional
+branch is taken.
+
+:func:`normalize_trace` repairs a raw trace into that canonical form,
+treating the recorded *instruction sequence* as ground truth:
+
+* PCs are snapped to the 4-byte grid (fixed-length model);
+* a non-branch followed by a non-fall-through PC is reclassified as a
+  taken ``UNCOND_DIRECT`` (branch-class inference);
+* conditional takenness is re-derived from the actual successor, with
+  not-taken conditionals canonicalised to target 0;
+* unconditional branches are forced taken and retargeted onto the
+  actual successor;
+* the final record is closed off consistently (a trailing conditional
+  becomes not-taken; a trailing unconditional keeps or synthesises its
+  target).
+
+The result always passes ``validate()``; the returned
+:class:`NormalizationReport` counts every repair so ``repro ingest
+inspect`` can show exactly how far an import deviated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.instruction import INSTRUCTION_SIZE, BranchClass
+from repro.isa.trace import Trace
+
+__all__ = ["NormalizationReport", "normalize_trace"]
+
+_UNCONDITIONAL = (
+    BranchClass.UNCOND_DIRECT,
+    BranchClass.CALL_DIRECT,
+    BranchClass.CALL_INDIRECT,
+    BranchClass.INDIRECT,
+    BranchClass.RETURN,
+)
+
+
+@dataclass(frozen=True)
+class NormalizationReport:
+    """Counts of every repair :func:`normalize_trace` applied."""
+
+    instructions: int
+    realigned_pcs: int
+    inferred_branches: int
+    flipped_takens: int
+    retargeted_branches: int
+
+    @property
+    def repairs(self) -> int:
+        return (
+            self.realigned_pcs
+            + self.inferred_branches
+            + self.flipped_takens
+            + self.retargeted_branches
+        )
+
+    @property
+    def clean(self) -> bool:
+        return self.repairs == 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "instructions": self.instructions,
+            "realigned_pcs": self.realigned_pcs,
+            "inferred_branches": self.inferred_branches,
+            "flipped_takens": self.flipped_takens,
+            "retargeted_branches": self.retargeted_branches,
+            "repairs": self.repairs,
+        }
+
+    def render(self) -> str:
+        if self.clean:
+            return f"{self.instructions} instructions, already canonical"
+        return (
+            f"{self.instructions} instructions, {self.repairs} repairs "
+            f"(realigned {self.realigned_pcs}, inferred-branch "
+            f"{self.inferred_branches}, flipped-taken {self.flipped_takens}, "
+            f"retargeted {self.retargeted_branches})"
+        )
+
+
+def normalize_trace(trace: Trace) -> tuple[Trace, NormalizationReport]:
+    """Canonicalise ``trace``; returns the repaired trace and a report.
+
+    The input is unchanged (traces are immutable); the output passes
+    :meth:`~repro.isa.trace.Trace.validate` by construction.
+    """
+    n = len(trace)
+    if n == 0:
+        empty = NormalizationReport(0, 0, 0, 0, 0)
+        return Trace(
+            trace.name,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint8),
+            np.empty(0, dtype=bool),
+            np.empty(0, dtype=np.int64),
+        ), empty
+
+    grid = ~np.int64(INSTRUCTION_SIZE - 1)
+    pcs = trace.pcs & grid
+    realigned = int((pcs != trace.pcs).sum())
+
+    classes = trace.branch_classes.copy()
+    takens = trace.takens.copy()
+    targets = trace.targets & grid
+
+    fallthrough = pcs + INSTRUCTION_SIZE
+    # The actual successor of every record but the last; the final slot
+    # is handled separately below.
+    actual_next = np.empty(n, dtype=np.int64)
+    actual_next[:-1] = pcs[1:]
+    actual_next[-1] = fallthrough[-1]
+
+    interior = np.zeros(n, dtype=bool)
+    interior[:-1] = True
+
+    diverges = actual_next != fallthrough
+
+    # 1. Branch-class inference: a straight-line record whose successor
+    #    is not its fall-through hides a control transfer.
+    not_branch = classes == np.uint8(BranchClass.NOT_BRANCH)
+    inferred_mask = not_branch & diverges & interior
+    classes[inferred_mask] = np.uint8(BranchClass.UNCOND_DIRECT)
+    inferred = int(inferred_mask.sum())
+
+    # 2. Conditionals: takenness and targets re-derived from the path.
+    cond = classes == np.uint8(BranchClass.COND_DIRECT)
+    cond_interior = cond & interior
+    new_taken_cond = cond_interior & diverges
+    cond_trailing = cond & ~interior
+
+    # 3. Unconditional classes: always taken, target = actual successor.
+    uncond = np.isin(classes, [np.uint8(kind) for kind in _UNCONDITIONAL])
+    uncond_interior = uncond & interior
+    uncond_trailing = uncond & ~interior
+
+    new_takens = takens.copy()
+    new_takens[inferred_mask] = True
+    new_takens[cond_interior] = new_taken_cond[cond_interior]
+    new_takens[cond_trailing] = False
+    new_takens[uncond] = True
+    new_takens[not_branch & ~inferred_mask] = False
+
+    new_targets = targets.copy()
+    new_targets[inferred_mask] = actual_next[inferred_mask]
+    new_targets[cond_interior & new_taken_cond] = actual_next[
+        cond_interior & new_taken_cond
+    ]
+    new_targets[cond & ~new_taken_cond] = 0
+    new_targets[uncond_interior] = actual_next[uncond_interior]
+    new_targets[not_branch & ~inferred_mask] = 0
+    # A trailing unconditional keeps a recorded target, or synthesises
+    # the fall-through so the stream stays closed.
+    trailing_fix = uncond_trailing & (new_targets == 0)
+    new_targets[trailing_fix] = fallthrough[trailing_fix]
+
+    flipped = int((new_takens != takens).sum())
+    branchy = classes != np.uint8(BranchClass.NOT_BRANCH)
+    retargeted = int(
+        ((new_targets != targets) & branchy & ~inferred_mask).sum()
+    )
+
+    normalized = Trace(trace.name, pcs, classes, new_takens, new_targets)
+    normalized.validate()
+    report = NormalizationReport(
+        instructions=n,
+        realigned_pcs=realigned,
+        inferred_branches=inferred,
+        flipped_takens=flipped,
+        retargeted_branches=retargeted,
+    )
+    return normalized, report

@@ -1,0 +1,308 @@
+"""RISC-V instruction-stream import: predecode rv32/rv64 into a trace.
+
+Real front-end studies often start from raw committed-instruction
+streams — (pc, instruction-word) pairs from a core's trace port or an
+ISA simulator — rather than from a pre-classified branch trace.  This
+module predecodes such a stream: branch *class* and direct-branch
+*targets* come from the instruction encoding, takenness comes from the
+recorded dynamic path (the next record's PC).
+
+Container format (``.rv``, optionally ``.gz``/``.xz`` wrapped)::
+
+    magic   : 4 bytes  b"RVT1"
+    xlen    : uint8    (32 or 64)
+    flags   : uint8    (reserved, 0)
+    reserved: uint16   (0)
+    count   : uint64   (number of records)
+    records : count x { pc: uint64 LE, insn: uint32 LE }
+
+The header's ``count`` is validated against the actual payload — a
+header claiming multi-GB record counts over a small file raises
+:class:`~repro.isa.errors.TraceFormatError` instead of allocating, and a
+zero-length or magic-less file is rejected up front.
+
+Predecode covers the RV32I/RV64I control-transfer encodings:
+
+* ``BRANCH`` (BEQ/BNE/BLT/...) → ``COND_DIRECT``, target = pc + B-imm;
+* ``JAL``  → ``CALL_DIRECT`` when rd is a link register (x1/x5), else
+  ``UNCOND_DIRECT``; target = pc + J-imm;
+* ``JALR`` → ``CALL_INDIRECT`` when rd is a link register; ``RETURN``
+  when rd=x0 and rs1 is a link register (the standard ``ret`` idiom);
+  otherwise ``INDIRECT``.  Targets come from the dynamic stream.
+
+Compressed (RVC, 16-bit) encodings are rejected: the simulator models a
+fixed 4-byte ISA (paper Section III-A), so streams must be compiled
+without the C extension.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.isa.binio import TraceReader, open_for_write
+from repro.isa.errors import TraceFormatError
+from repro.isa.instruction import INSTRUCTION_SIZE, BranchClass
+from repro.isa.trace import Trace
+
+__all__ = [
+    "MAGIC",
+    "RECORD_BYTES",
+    "decode_branch",
+    "load_riscv",
+    "dump_riscv",
+]
+
+MAGIC = b"RVT1"
+HEADER = struct.Struct("<4s B B H Q")
+HEADER_BYTES = HEADER.size  # 16
+_RECORD = struct.Struct("<Q I")
+RECORD_BYTES = _RECORD.size  # 12
+
+#: RISC-V link registers: x1 (ra) and x5 (t0, the alternate link reg).
+LINK_REGISTERS = (1, 5)
+
+_OPCODE_BRANCH = 0b1100011
+_OPCODE_JAL = 0b1101111
+_OPCODE_JALR = 0b1100111
+
+#: Addresses must fit the signed-int64 trace columns.
+MAX_ADDRESS = (1 << 63) - 1
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def _b_immediate(insn: int) -> int:
+    """B-type immediate: imm[12|10:5] in bits 31:25, imm[4:1|11] in 11:7."""
+    imm = (
+        (((insn >> 31) & 0x1) << 12)
+        | (((insn >> 7) & 0x1) << 11)
+        | (((insn >> 25) & 0x3F) << 5)
+        | (((insn >> 8) & 0xF) << 1)
+    )
+    return _sign_extend(imm, 13)
+
+
+def _j_immediate(insn: int) -> int:
+    """J-type immediate: imm[20|10:1|11|19:12] packed in bits 31:12."""
+    imm = (
+        (((insn >> 31) & 0x1) << 20)
+        | (((insn >> 12) & 0xFF) << 12)
+        | (((insn >> 20) & 0x1) << 11)
+        | (((insn >> 21) & 0x3FF) << 1)
+    )
+    return _sign_extend(imm, 21)
+
+
+def _encode_b_immediate(offset: int) -> int:
+    imm = offset & 0x1FFF
+    return (
+        (((imm >> 12) & 0x1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 0x1) << 7)
+    )
+
+
+def _encode_j_immediate(offset: int) -> int:
+    imm = offset & 0x1FFFFF
+    return (
+        (((imm >> 20) & 0x1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 0x1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+    )
+
+
+def decode_branch(pc: int, insn: int) -> tuple[BranchClass, int]:
+    """Predecode one 32-bit instruction word.
+
+    Returns ``(branch_class, static_target)``; the target is 0 for
+    non-branches and for indirect transfers (whose targets only the
+    dynamic stream knows).
+    """
+    opcode = insn & 0x7F
+    if opcode == _OPCODE_BRANCH:
+        return BranchClass.COND_DIRECT, pc + _b_immediate(insn)
+    if opcode == _OPCODE_JAL:
+        rd = (insn >> 7) & 0x1F
+        target = pc + _j_immediate(insn)
+        if rd in LINK_REGISTERS:
+            return BranchClass.CALL_DIRECT, target
+        return BranchClass.UNCOND_DIRECT, target
+    if opcode == _OPCODE_JALR:
+        rd = (insn >> 7) & 0x1F
+        rs1 = (insn >> 15) & 0x1F
+        if rd in LINK_REGISTERS:
+            return BranchClass.CALL_INDIRECT, 0
+        if rd == 0 and rs1 in LINK_REGISTERS:
+            return BranchClass.RETURN, 0
+        return BranchClass.INDIRECT, 0
+    return BranchClass.NOT_BRANCH, 0
+
+
+def load_riscv(
+    path: str | Path,
+    max_instructions: int | None = None,
+    name: str | None = None,
+) -> Trace:
+    """Predecode an rv32/rv64 instruction stream into a raw :class:`Trace`.
+
+    Branch takenness and indirect targets are recovered from the dynamic
+    path: a control-transfer's actual destination is the next record's
+    PC.  The result is *raw* — run it through
+    :func:`repro.isa.normalize.normalize_trace` (or
+    :func:`repro.isa.ingest.load_any`) before simulation.
+    """
+    path = Path(path)
+    with TraceReader(path) as reader:
+        header = reader.read_exact(HEADER_BYTES, "header")
+        magic, xlen, flags, reserved, count = HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(
+                f"bad magic {magic!r} (expected {MAGIC!r})", path=str(path), offset=0
+            )
+        if xlen not in (32, 64):
+            raise TraceFormatError(f"unsupported xlen {xlen}", path=str(path), offset=4)
+        if flags != 0 or reserved != 0:
+            raise TraceFormatError(
+                "reserved header fields are non-zero", path=str(path), offset=5
+            )
+        # Sanity-check the claimed record count before touching payload:
+        # for an uncompressed file the container size is known exactly,
+        # so a multi-GB-claiming header on a small file dies here.
+        if path.suffix not in (".gz", ".xz"):
+            payload = path.stat().st_size - HEADER_BYTES
+            if payload != count * RECORD_BYTES:
+                raise TraceFormatError(
+                    f"header claims {count} records ({count * RECORD_BYTES} "
+                    f"bytes) but the file carries {payload} payload bytes",
+                    path=str(path),
+                    offset=8,
+                )
+
+        limit = count if max_instructions is None else min(count, max_instructions)
+        pcs: list[int] = []
+        classes: list[int] = []
+        takens: list[bool] = []
+        targets: list[int] = []
+        raw_pcs: list[int] = []
+        raw_insns: list[int] = []
+
+        while len(raw_pcs) < limit:
+            record = reader.read_record(RECORD_BYTES, "instruction record")
+            if record is None:
+                raise TraceFormatError(
+                    f"header claims {count} records but the stream ends "
+                    f"after {len(raw_pcs)}",
+                    path=str(path),
+                    offset=reader.offset,
+                )
+            pc, insn = _RECORD.unpack(record)
+            if pc > MAX_ADDRESS:
+                raise TraceFormatError(
+                    f"pc {pc:#x} out of range",
+                    path=str(path),
+                    offset=reader.offset - RECORD_BYTES,
+                )
+            if insn & 0x3 != 0x3:
+                raise TraceFormatError(
+                    f"compressed (RVC) encoding {insn:#010x} at pc {pc:#x}: "
+                    "the fixed-4-byte model requires streams without the "
+                    "C extension",
+                    path=str(path),
+                    offset=reader.offset - RECORD_BYTES,
+                )
+            raw_pcs.append(pc)
+            raw_insns.append(insn)
+
+    for index, (pc, insn) in enumerate(zip(raw_pcs, raw_insns)):
+        branch_class, static_target = decode_branch(pc, insn)
+        next_pc = raw_pcs[index + 1] if index + 1 < len(raw_pcs) else None
+        taken = False
+        target = 0
+        if branch_class is BranchClass.COND_DIRECT:
+            if next_pc is not None and next_pc != pc + INSTRUCTION_SIZE:
+                taken = True
+                target = static_target
+        elif branch_class.is_branch:
+            taken = True
+            if branch_class in (BranchClass.UNCOND_DIRECT, BranchClass.CALL_DIRECT):
+                target = static_target
+            elif next_pc is not None:
+                target = next_pc  # indirect: only the stream knows
+            else:
+                target = pc + INSTRUCTION_SIZE  # trailing indirect; normalize
+        pcs.append(pc)
+        classes.append(int(branch_class))
+        takens.append(taken)
+        targets.append(target)
+
+    return Trace(
+        name or path.stem,
+        np.array(pcs, dtype=np.int64),
+        np.array(classes, dtype=np.uint8),
+        np.array(takens, dtype=bool),
+        np.array(targets, dtype=np.int64),
+    )
+
+
+def _encode_entry(pc: int, branch_class: BranchClass, taken: bool, target: int) -> int:
+    """Synthesise one rv instruction word for :func:`dump_riscv`."""
+    if branch_class is BranchClass.NOT_BRANCH:
+        return 0x00000013  # addi x0, x0, 0
+    if branch_class is BranchClass.COND_DIRECT:
+        # Not-taken conditionals have no recorded target; any in-range
+        # even offset other than +4 round-trips as not-taken.
+        offset = (target - pc) if taken else 8
+        if not (-4096 <= offset < 4096) or offset % 2:
+            raise TraceFormatError(
+                f"conditional offset {offset} at pc {pc:#x} does not fit "
+                "a B-type immediate"
+            )
+        # beq x5, x6, offset
+        return _encode_b_immediate(offset) | (6 << 20) | (5 << 15) | _OPCODE_BRANCH
+    if branch_class in (BranchClass.UNCOND_DIRECT, BranchClass.CALL_DIRECT):
+        offset = target - pc
+        if not (-(1 << 20) <= offset < (1 << 20)) or offset % 2:
+            raise TraceFormatError(
+                f"jump offset {offset} at pc {pc:#x} does not fit a "
+                "J-type immediate"
+            )
+        rd = 1 if branch_class is BranchClass.CALL_DIRECT else 0
+        return _encode_j_immediate(offset) | (rd << 7) | _OPCODE_JAL
+    if branch_class is BranchClass.CALL_INDIRECT:
+        return (6 << 15) | (1 << 7) | _OPCODE_JALR  # jalr x1, x6, 0
+    if branch_class is BranchClass.RETURN:
+        return (1 << 15) | (0 << 7) | _OPCODE_JALR  # jalr x0, x1, 0 (ret)
+    return (6 << 15) | (0 << 7) | _OPCODE_JALR  # jalr x0, x6, 0
+
+
+def dump_riscv(trace: Trace, path: str | Path, xlen: int = 64) -> None:
+    """Write a :class:`Trace` as an rv instruction stream.
+
+    Every entry is re-encoded as a real RV32I/RV64I instruction word
+    (non-branches become NOPs); loading the result back and normalising
+    reproduces the canonical trace.  Raises
+    :class:`~repro.isa.errors.TraceFormatError` when a direct branch's
+    offset does not fit its encoding's immediate range.
+    """
+    if xlen not in (32, 64):
+        raise ValueError(f"xlen must be 32 or 64, not {xlen}")
+    path = Path(path)
+    with open_for_write(path) as handle:
+        handle.write(HEADER.pack(MAGIC, xlen, 0, 0, len(trace)))
+        for i in range(len(trace)):
+            insn = _encode_entry(
+                int(trace.pcs[i]),
+                BranchClass(int(trace.branch_classes[i])),
+                bool(trace.takens[i]),
+                int(trace.targets[i]),
+            )
+            handle.write(_RECORD.pack(int(trace.pcs[i]), insn))

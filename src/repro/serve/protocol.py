@@ -34,7 +34,7 @@ from typing import Any
 from repro.analysis.parallel import SimJob
 from repro.core.configs import config_from_spec
 from repro.core.pipeline import SimResult
-from repro.workloads import SUITE
+from repro.workloads import SUITE, is_ingested
 
 __all__ = [
     "ERROR_CODES",
@@ -58,7 +58,8 @@ MAX_LINE_BYTES = 1 << 20
 #: Every error code the server can attach to an ``error`` message.
 #:
 #: * ``bad-request``   — unparsable JSON, unknown fields, bad matrix;
-#: * ``unknown-workload`` — a workload name outside the suite;
+#: * ``unknown-workload`` — a name in neither the suite nor the
+#:   ingested-trace store;
 #: * ``timeout``       — a job ran past the per-job timeout;
 #: * ``worker-crash``  — the worker process died (killed, segfault) and
 #:   retries were exhausted;
@@ -145,7 +146,7 @@ def expand_matrix(matrix: object) -> list[SimJob]:
     for name in workloads:
         if not isinstance(name, str):
             raise ServeError("bad-request", f"workload name {name!r} is not a string")
-        if name not in SUITE:
+        if name not in SUITE and not is_ingested(name):
             raise ServeError("unknown-workload", f"unknown workload {name!r}")
     specs = matrix.get("configs", [{}])
     if not isinstance(specs, list) or not specs:

@@ -20,8 +20,23 @@ from repro.workloads.behaviors import (
     Pattern,
 )
 from repro.workloads.cfg import BasicBlock, Function, Program, TerminatorKind
+from repro.workloads.datacenter import DATACENTER_SUITE
 from repro.workloads.generator import ProgramGenerator, WorkloadConfig, generate_trace
-from repro.workloads.suite import SUITE, WorkloadSpec, load_suite, load_workload
+from repro.workloads.store import (
+    IngestedWorkload,
+    cache_token,
+    ingest_trace,
+    ingested_names,
+    is_ingested,
+    load_ingested,
+)
+from repro.workloads.suite import (
+    SUITE,
+    WorkloadSpec,
+    load_suite,
+    load_workload,
+    workload_names,
+)
 
 __all__ = [
     "BranchBehavior",
@@ -37,7 +52,15 @@ __all__ = [
     "ProgramGenerator",
     "generate_trace",
     "SUITE",
+    "DATACENTER_SUITE",
     "WorkloadSpec",
     "load_workload",
     "load_suite",
+    "workload_names",
+    "IngestedWorkload",
+    "cache_token",
+    "ingest_trace",
+    "ingested_names",
+    "is_ingested",
+    "load_ingested",
 ]

@@ -1,0 +1,128 @@
+"""Datacenter-shape workload configurations (the ``dc_*`` suite slice).
+
+The paper's motivation (Section III) rests on datacenter front-end
+behaviour: instruction footprints far past the µ-op cache reach, deep
+service call stacks, and dispatch-heavy control flow.  The three shapes
+below push each of those axes harder than the general ``srv_*`` mix:
+
+* ``dc_call_*``  — *deep call graphs*: 8-level call DAGs with a high
+  call weight, so most control transfers are call/return pairs and the
+  RAS-depth regime resembles RPC stacks (service → stub → marshal →
+  alloc → ...).
+* ``dc_interp_*`` — *interpreter dispatch loops*: a tight, loopy core
+  whose terminators are dominated by indirect jumps with moderate
+  fan-out and bursty target reuse — the classic bytecode
+  switch-threaded dispatch shape.
+* ``dc_mega_*``  — *megamorphic indirect branches*: wide-fanout,
+  low-repeat indirect calls over a flat handler space, the virtual-call
+  sites that defeat simple BTBs and generate the alternate-path
+  opportunities UCP prefetches along.
+
+All six are ordinary :class:`~repro.workloads.generator.WorkloadConfig`
+instances — deterministic per seed, cached, and cache-key compatible
+with the rest of the suite.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import WorkloadConfig
+
+__all__ = ["DATACENTER_SUITE", "dc_call", "dc_interp", "dc_mega"]
+
+
+def dc_call(name: str, seed: int, functions: int, h2p: float) -> WorkloadConfig:
+    """Deep-call-graph shape: RPC-style stacks, call/return dominated."""
+    return WorkloadConfig(
+        name=name,
+        seed=seed,
+        n_functions=functions,
+        blocks_per_function=12,
+        block_size_mean=7.0,
+        call_depth_levels=8,
+        call_weight=0.30,
+        cond_weight=0.34,
+        jump_weight=0.06,
+        indirect_weight=0.02,
+        fallthrough_weight=0.28,
+        dispatch_skew=1.0,
+        h2p_fraction=h2p,
+        biased_fraction=0.90 - h2p,
+        correlated_fraction=0.04,
+        pattern_fraction=0.02,
+    )
+
+
+def dc_interp(name: str, seed: int, functions: int, fanout: int) -> WorkloadConfig:
+    """Interpreter-dispatch shape: indirect-jump threaded, bursty reuse.
+
+    The terminator mix is dominated by :data:`indirect_weight` with a
+    *narrow* fanout and a *high* repeat probability — the next-opcode
+    jump of a bytecode loop re-hits the same handler in bursts, which is
+    exactly what makes real dispatch ITTAGE-predictable.  Loops are kept
+    rare so the dynamic stream tracks the indirect mix instead of being
+    swamped by loop-back conditionals.
+    """
+    return WorkloadConfig(
+        name=name,
+        seed=seed,
+        n_functions=functions,
+        blocks_per_function=24,
+        block_size_mean=5.5,
+        call_depth_levels=2,
+        call_weight=0.04,
+        cond_weight=0.22,
+        jump_weight=0.05,
+        indirect_weight=0.30,
+        fallthrough_weight=0.39,
+        indirect_fanout=fanout,
+        indirect_repeat=0.75,
+        loop_fraction=0.06,
+        dispatch_skew=0.6,
+        h2p_fraction=0.03,
+        biased_fraction=0.72,
+        correlated_fraction=0.15,
+        pattern_fraction=0.10,
+    )
+
+
+def dc_mega(name: str, seed: int, functions: int, fanout: int) -> WorkloadConfig:
+    """Megamorphic shape: wide, low-reuse indirect branch sites.
+
+    Same indirect-dominated mix as ``dc_interp``, but each site fans out
+    over a *wide* target set (:data:`indirect_fanout`) with a *low*
+    repeat probability and a flatter popularity skew — virtual-call
+    sites that cycle through many receivers rather than bursting on one.
+    The footprint is ~3x the interpreter core.
+    """
+    return WorkloadConfig(
+        name=name,
+        seed=seed,
+        n_functions=functions,
+        blocks_per_function=18,
+        block_size_mean=6.5,
+        call_depth_levels=3,
+        call_weight=0.10,
+        cond_weight=0.26,
+        jump_weight=0.05,
+        indirect_weight=0.26,
+        fallthrough_weight=0.33,
+        indirect_fanout=fanout,
+        indirect_repeat=0.10,
+        loop_fraction=0.08,
+        dispatch_skew=0.2,
+        h2p_fraction=0.05,
+        biased_fraction=0.80,
+        correlated_fraction=0.08,
+        pattern_fraction=0.07,
+    )
+
+
+#: The datacenter slice, merged into :data:`repro.workloads.suite.SUITE`.
+DATACENTER_SUITE: dict[str, WorkloadConfig] = {
+    "dc_call_01": dc_call("dc_call_01", seed=801, functions=200, h2p=0.03),
+    "dc_call_02": dc_call("dc_call_02", seed=802, functions=280, h2p=0.06),
+    "dc_interp_01": dc_interp("dc_interp_01", seed=811, functions=24, fanout=4),
+    "dc_interp_02": dc_interp("dc_interp_02", seed=812, functions=40, fanout=6),
+    "dc_mega_01": dc_mega("dc_mega_01", seed=821, functions=48, fanout=24),
+    "dc_mega_02": dc_mega("dc_mega_02", seed=822, functions=72, fanout=32),
+}

@@ -20,6 +20,7 @@ from dataclasses import replace
 from functools import lru_cache
 
 from repro.isa.trace import Trace
+from repro.workloads.datacenter import DATACENTER_SUITE
 from repro.workloads.generator import WorkloadConfig, generate_trace
 
 
@@ -141,12 +142,15 @@ SUITE: dict[str, WorkloadConfig] = {
     # Mixed: between int and srv regimes.
     "mix_01": _int("mix_01", seed=701, functions=110, h2p=0.05),
     "mix_02": _int("mix_02", seed=702, functions=140, h2p=0.08),
+    # Datacenter shapes: deep call graphs, interpreter dispatch,
+    # megamorphic indirect branches (repro.workloads.datacenter).
+    **DATACENTER_SUITE,
 }
 
 #: Symbolic groups for experiments that slice by category.
 CATEGORIES: dict[str, list[str]] = {
-    prefix: [name for name in SUITE if name.startswith(prefix)]
-    for prefix in ("srv", "int", "crypto", "fp", "web", "db", "mix")
+    prefix: [name for name in SUITE if name.startswith(prefix + "_")]
+    for prefix in ("srv", "int", "crypto", "fp", "web", "db", "mix", "dc")
 }
 
 
@@ -171,10 +175,53 @@ def _cached_trace(name: str, n_instructions: int) -> Trace:
     return generate_trace(config)
 
 
+@lru_cache(maxsize=16)
+def _cached_ingested(name: str, digest: str, n_instructions: int) -> Trace:
+    # Keyed by content digest: re-converting a different trace under the
+    # same name cannot serve a stale in-process copy.
+    from repro.workloads.store import load_ingested
+
+    return load_ingested(name, n_instructions)
+
+
+def _load_ingested_spec(name: str, n_instructions: int | None) -> WorkloadSpec | None:
+    from repro.workloads.store import resolve_meta
+
+    meta = resolve_meta(name)
+    if meta is None:
+        return None
+    length = (
+        min(n_instructions, meta.instructions)
+        if n_instructions is not None
+        else meta.instructions
+    )
+    trace = _cached_ingested(name, meta.digest, length)
+    # Ingested traces have no generator config; a stub records provenance
+    # (seed 0 marks "not generated") so WorkloadSpec consumers keep working.
+    config = WorkloadConfig(name=name, seed=0, n_instructions=length)
+    return WorkloadSpec(config, trace)
+
+
+def workload_names() -> list[str]:
+    """All resolvable workload names: the built-in suite plus every
+    registered ingested trace."""
+    from repro.workloads.store import ingested_names
+
+    return sorted(SUITE) + ingested_names()
+
+
 def load_workload(name: str, n_instructions: int | None = None) -> WorkloadSpec:
-    """Materialise one suite workload (traces are cached per length)."""
+    """Materialise one workload (traces are cached per length).
+
+    Resolution order: the built-in suite first, then the ingested-trace
+    store (:mod:`repro.workloads.store`) — so ``repro ingest convert``
+    output drops into every consumer of this function unchanged.
+    """
     if name not in SUITE:
-        raise KeyError(f"unknown workload {name!r}; choose from {sorted(SUITE)}")
+        spec = _load_ingested_spec(name, n_instructions)
+        if spec is not None:
+            return spec
+        raise KeyError(f"unknown workload {name!r}; choose from {workload_names()}")
     config = SUITE[name]
     length = n_instructions if n_instructions is not None else config.n_instructions
     return WorkloadSpec(replace(config, n_instructions=length), _cached_trace(name, length))

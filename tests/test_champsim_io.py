@@ -4,7 +4,7 @@ import struct
 
 import pytest
 
-from repro.isa import BranchClass
+from repro.isa import BranchClass, TraceFormatError
 from repro.isa.champsim import (
     RECORD_BYTES,
     dump_champsim,
@@ -19,6 +19,13 @@ class TestRecordLayout:
 
 
 class TestRoundTrip:
+    def test_branchy_sample_roundtrip(self, tmp_path, branchy_trace):
+        path = tmp_path / "branchy.bin"
+        dump_champsim(branchy_trace, path)
+        back = load_champsim(path)
+        assert (back.branch_classes == branchy_trace.branch_classes).all()
+        assert (back.next_pcs == branchy_trace.next_pcs).all()
+
     @pytest.mark.parametrize("suffix", [".bin", ".xz", ".gz"])
     def test_workload_roundtrip(self, tmp_path, suffix):
         trace = load_workload("int_01", 1_500).trace
@@ -93,13 +100,15 @@ class TestBranchClassInference:
         back = load_champsim(path)
         assert BranchClass(int(back.branch_classes[0])) is branch_class
 
-    def test_truncated_file_handled(self, tmp_path):
+    def test_truncated_file_rejected(self, tmp_path):
+        """A trailing partial record is a typed format error, not silent
+        tolerance — real truncated downloads must not import quietly."""
         path = tmp_path / "trunc.bin"
         # One full record plus a partial one.
         full = struct.pack("<Q B B 2B 4B 2Q 4Q", 0x1000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
         path.write_bytes(full + b"\x00" * 10)
-        trace = load_champsim(path)
-        assert len(trace) == 1
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_champsim(path)
 
     def test_unaligned_ips_snapped(self, tmp_path):
         path = tmp_path / "unaligned.bin"

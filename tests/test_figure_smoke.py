@@ -64,6 +64,32 @@ def _skip_sweep_configs() -> dict[str, SimConfig]:
     return configs
 
 
+#: Every datacenter-suite member must hold up under the PR 2 oracle: the
+#: commit stream (and hence committed-instruction semantics) must be
+#: identical across the whole configuration spread.
+DC_WORKLOADS = (
+    "dc_call_01", "dc_call_02",
+    "dc_interp_01", "dc_interp_02",
+    "dc_mega_01", "dc_mega_02",
+)
+
+
+@pytest.mark.parametrize("workload", DC_WORKLOADS)
+def test_dc_workloads_pass_timing_independence_oracle(workload):
+    from repro.verify.differential import check_timing_independence
+
+    check_timing_independence(workload, 2_000)
+
+
+@pytest.mark.parametrize("workload", DC_WORKLOADS)
+def test_dc_workloads_run_registry_experiment(workload):
+    """Each dc member runs end-to-end through the registry path."""
+    scale = Scale("dc-micro", (workload, "int_02"), 2_000)
+    result, rendered = run_experiment("fig02", scale)
+    assert result is not None
+    assert workload in rendered
+
+
 @pytest.mark.parametrize("label", sorted(_skip_sweep_configs()))
 def test_idle_skip_equivalence(label):
     """Skipping on vs off: identical cycles and identical final stats."""

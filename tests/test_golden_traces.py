@@ -1,0 +1,168 @@
+"""Golden round-trip fixtures for every binary trace container.
+
+Tiny ChampSim / CVP-1 / RISC-V samples are checked in under
+``tests/golden/traces/`` together with a manifest pinning each file's
+bytes (sha256) and the column digest of the :class:`Trace` it decodes
+to.  Three properties are enforced per fixture:
+
+* **read stability** — decoding the checked-in bytes still produces the
+  exact same trace columns (format drift in a reader fails here);
+* **write stability** — re-encoding that trace is bit-identical to the
+  checked-in file (deterministic writers, gzip ``mtime=0`` included);
+* **round-trip identity** — write → read → ``Trace`` reproduces the
+  columns exactly, through a fresh temp file.
+
+Fixtures are generated from *normalized* traces, for which every reader/
+writer pair is an exact inverse.  Regenerate after an intentional format
+change with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_traces.py
+
+and commit the result (writers are deterministic, so regeneration is
+reproducible on any machine).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.isa import Trace, normalize_trace
+from repro.isa.champsim import dump_champsim, load_champsim
+from repro.isa.cvp import dump_cvp, load_cvp
+from repro.isa.riscv import dump_riscv, load_riscv
+from repro.workloads import load_workload
+from tests.conftest import build_branchy_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "traces"
+MANIFEST = GOLDEN_DIR / "manifest.json"
+
+_IO = {
+    "champsim": (dump_champsim, load_champsim),
+    "cvp": (dump_cvp, load_cvp),
+    "riscv": (dump_riscv, load_riscv),
+}
+
+
+def _source_traces() -> dict[str, Trace]:
+    """The canonical sample traces fixtures are built from."""
+    branchy = build_branchy_trace()
+    dc_slice = load_workload("dc_interp_01", 300).trace
+    return {
+        "branchy": normalize_trace(branchy)[0],
+        "dc300": normalize_trace(dc_slice)[0],
+    }
+
+
+#: fixture file name -> (source trace key, format)
+FIXTURES = {
+    "branchy.champsim.bin": ("branchy", "champsim"),
+    "branchy.cvp": ("branchy", "cvp"),
+    "branchy.rv": ("branchy", "riscv"),
+    "dc300.champsim.bin.gz": ("dc300", "champsim"),
+    "dc300.cvp.gz": ("dc300", "cvp"),
+    "dc300.rv.gz": ("dc300", "riscv"),
+}
+
+
+def _column_digest(trace: Trace) -> str:
+    digest = hashlib.sha256()
+    digest.update(len(trace).to_bytes(8, "little"))
+    digest.update(trace.pcs.tobytes())
+    digest.update(trace.branch_classes.tobytes())
+    digest.update(trace.takens.tobytes())
+    digest.update(trace.targets.tobytes())
+    return digest.hexdigest()
+
+
+def _load(filename: str, path: Path) -> Trace:
+    _, fmt = FIXTURES[filename]
+    return _IO[fmt][1](path)
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    sources = _source_traces()
+    manifest: dict[str, dict[str, object]] = {}
+    for filename, (source, fmt) in sorted(FIXTURES.items()):
+        trace = sources[source]
+        path = GOLDEN_DIR / filename
+        _IO[fmt][0](trace, path)
+        manifest[filename] = {
+            "format": fmt,
+            "instructions": len(trace),
+            "file_sha256": hashlib.sha256(path.read_bytes()).hexdigest(),
+            "trace_digest": _column_digest(trace),
+        }
+    MANIFEST.write_text(json.dumps({"schema": 1, "fixtures": manifest}, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def manifest() -> dict:
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        _regenerate()
+    assert MANIFEST.exists(), (
+        "missing golden trace fixtures — regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    data = json.loads(MANIFEST.read_text())
+    assert data["schema"] == 1
+    return data["fixtures"]
+
+
+@pytest.mark.parametrize("filename", sorted(FIXTURES))
+def test_checked_in_file_unmodified(manifest, filename):
+    path = GOLDEN_DIR / filename
+    assert path.exists(), f"missing fixture {filename}"
+    assert (
+        hashlib.sha256(path.read_bytes()).hexdigest()
+        == manifest[filename]["file_sha256"]
+    ), f"{filename} bytes drifted from the manifest"
+
+
+@pytest.mark.parametrize("filename", sorted(FIXTURES))
+def test_read_stability(manifest, filename):
+    """Decoding the checked-in bytes reproduces the pinned trace columns."""
+    trace = _load(filename, GOLDEN_DIR / filename)
+    trace.validate()
+    assert len(trace) == manifest[filename]["instructions"]
+    assert _column_digest(trace) == manifest[filename]["trace_digest"], (
+        f"{filename}: reader output drifted — format change? If "
+        f"intentional, REPRO_REGEN_GOLDEN=1"
+    )
+
+
+@pytest.mark.parametrize("filename", sorted(FIXTURES))
+def test_write_stability(manifest, filename, tmp_path):
+    """Re-encoding the decoded trace is bit-identical to the fixture."""
+    _, fmt = FIXTURES[filename]
+    trace = _load(filename, GOLDEN_DIR / filename)
+    fresh = tmp_path / filename
+    _IO[fmt][0](trace, fresh)
+    assert fresh.read_bytes() == (GOLDEN_DIR / filename).read_bytes(), (
+        f"{filename}: writer output is not deterministic/bit-identical"
+    )
+
+
+@pytest.mark.parametrize("filename", sorted(FIXTURES))
+def test_round_trip_identity(filename, tmp_path):
+    """write -> read -> Trace is exact for normalized traces."""
+    _, fmt = FIXTURES[filename]
+    dump, load = _IO[fmt]
+    original = _load(filename, GOLDEN_DIR / filename)
+    path = tmp_path / f"rt-{filename}"
+    dump(original, path)
+    back = load(path)
+    assert (back.pcs == original.pcs).all()
+    assert (back.branch_classes == original.branch_classes).all()
+    assert (back.takens == original.takens).all()
+    assert (back.targets == original.targets).all()
+
+
+def test_manifest_covers_exactly_the_fixture_files(manifest):
+    assert set(manifest) == set(FIXTURES)
+    on_disk = {p.name for p in GOLDEN_DIR.iterdir() if p.name != "manifest.json"}
+    assert on_disk == set(FIXTURES), "stray or missing files in golden/traces"

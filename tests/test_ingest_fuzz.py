@@ -1,0 +1,198 @@
+"""Fuzz suite for the trace-ingestion frontend.
+
+Contract under test: feeding *any* bytes to any reader either yields a
+valid :class:`~repro.isa.trace.Trace` or raises the typed
+:class:`~repro.isa.errors.TraceFormatError` — never ``struct.error``,
+``IndexError``, ``OverflowError``, ``EOFError``, gzip/lzma internals, or
+a bare ``ValueError`` from deep inside numpy.  Hypothesis drives three
+malformation families:
+
+* arbitrary byte soup (and byte soup behind valid container magic);
+* truncations and single-byte corruptions of *valid* dumps;
+* envelope attacks: garbage claiming to be gzip/xz, truncated members,
+  and headers claiming multi-GB record counts over tiny files.
+"""
+
+from __future__ import annotations
+
+import gzip
+import lzma
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import TraceFormatError
+from repro.isa.champsim import dump_champsim
+from repro.isa.cvp import dump_cvp
+from repro.isa.ingest import FORMATS, load_any
+from repro.isa.riscv import HEADER, MAGIC, RECORD_BYTES, dump_riscv
+from tests.conftest import build_branchy_trace
+
+#: (format, file suffix, dump function) for every binary frontend.
+BINARY_FORMATS = [
+    ("champsim", ".bin", dump_champsim),
+    ("cvp", ".cvp", dump_cvp),
+    ("riscv", ".rv", dump_riscv),
+]
+
+_SETTINGS = settings(deadline=None, max_examples=40)
+
+
+def _load_or_typed_error(path, fmt):
+    """The invariant: a Trace comes back, or exactly TraceFormatError."""
+    try:
+        result = load_any(path, fmt=fmt)
+    except TraceFormatError:
+        return None
+    except Exception as error:  # pragma: no cover - the failure being hunted
+        pytest.fail(
+            f"{fmt} reader leaked {type(error).__name__}: {error!r} "
+            f"(must raise TraceFormatError)"
+        )
+    result.trace.validate()
+    return result
+
+
+class TestArbitraryBytes:
+    @pytest.mark.parametrize("fmt,suffix,_dump", BINARY_FORMATS)
+    @_SETTINGS
+    @given(blob=st.binary(max_size=512))
+    def test_byte_soup(self, tmp_path_factory, fmt, suffix, _dump, blob):
+        path = tmp_path_factory.mktemp("fuzz") / f"soup{suffix}"
+        path.write_bytes(blob)
+        _load_or_typed_error(path, fmt)
+
+    @_SETTINGS
+    @given(blob=st.binary(max_size=256))
+    def test_riscv_soup_behind_valid_header(self, tmp_path_factory, blob):
+        """Valid magic + garbage payload must still fail typed."""
+        path = tmp_path_factory.mktemp("fuzz") / "soup.rv"
+        count = max(1, len(blob) // RECORD_BYTES)
+        path.write_bytes(HEADER.pack(MAGIC, 64, 0, 0, count) + blob)
+        _load_or_typed_error(path, "riscv")
+
+    @pytest.mark.parametrize("fmt,suffix,_dump", BINARY_FORMATS)
+    def test_zero_length_file(self, tmp_path, fmt, suffix, _dump):
+        path = tmp_path / f"empty{suffix}"
+        path.write_bytes(b"")
+        # ChampSim/CVP treat empty as zero records; RISC-V requires a
+        # header.  Either outcome is fine — a crash is not.
+        _load_or_typed_error(path, fmt)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_any(tmp_path / "nope.bin")
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "trace.weird"
+        path.write_bytes(b"x")
+        with pytest.raises(TraceFormatError, match="cannot detect"):
+            load_any(path)
+
+    def test_unknown_format_name(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError, match="unknown trace format"):
+            load_any(path, fmt="elf")
+
+
+class TestCorruptedValidDumps:
+    @pytest.mark.parametrize("fmt,suffix,dump", BINARY_FORMATS)
+    @_SETTINGS
+    @given(data=st.data())
+    def test_truncation_anywhere(self, tmp_path_factory, fmt, suffix, dump, data):
+        path = tmp_path_factory.mktemp("fuzz") / f"trunc{suffix}"
+        dump(build_branchy_trace(), path)
+        blob = path.read_bytes()
+        cut = data.draw(st.integers(0, len(blob) - 1), label="cut")
+        path.write_bytes(blob[:cut])
+        _load_or_typed_error(path, fmt)
+
+    @pytest.mark.parametrize("fmt,suffix,dump", BINARY_FORMATS)
+    @_SETTINGS
+    @given(data=st.data())
+    def test_single_byte_corruption(self, tmp_path_factory, fmt, suffix, dump, data):
+        path = tmp_path_factory.mktemp("fuzz") / f"flip{suffix}"
+        dump(build_branchy_trace(), path)
+        blob = bytearray(path.read_bytes())
+        index = data.draw(st.integers(0, len(blob) - 1), label="index")
+        flip = data.draw(st.integers(1, 255), label="flip")
+        blob[index] ^= flip
+        path.write_bytes(bytes(blob))
+        _load_or_typed_error(path, fmt)
+
+    @pytest.mark.parametrize("fmt,suffix,dump", BINARY_FORMATS)
+    def test_high_bit_addresses_rejected(self, tmp_path, fmt, suffix, dump):
+        """A u64 PC above 2^63 must not leak numpy's OverflowError."""
+        path = tmp_path / f"highbit{suffix}"
+        dump(build_branchy_trace(), path)
+        blob = bytearray(path.read_bytes())
+        # Set the top byte of the first little-endian u64 PC field.
+        pc_offset = HEADER.size if fmt == "riscv" else 0
+        blob[pc_offset + 7] = 0xFF
+        path.write_bytes(bytes(blob))
+        _load_or_typed_error(path, fmt)
+
+
+class TestEnvelopeAttacks:
+    @pytest.mark.parametrize("envelope", [".gz", ".xz"])
+    @pytest.mark.parametrize("fmt,suffix,_dump", BINARY_FORMATS)
+    @_SETTINGS
+    @given(blob=st.binary(max_size=128))
+    def test_garbage_claiming_compression(
+        self, tmp_path_factory, envelope, fmt, suffix, _dump, blob
+    ):
+        path = tmp_path_factory.mktemp("fuzz") / f"bad{suffix}{envelope}"
+        path.write_bytes(blob)
+        _load_or_typed_error(path, fmt)
+
+    @pytest.mark.parametrize("fmt,suffix,dump", BINARY_FORMATS)
+    def test_truncated_gzip_member(self, tmp_path, fmt, suffix, dump):
+        plain = tmp_path / f"t{suffix}"
+        dump(build_branchy_trace(), plain)
+        wrapped = tmp_path / f"t{suffix}.gz"
+        wrapped.write_bytes(gzip.compress(plain.read_bytes())[:-8])
+        _load_or_typed_error(wrapped, fmt)
+
+    @pytest.mark.parametrize("fmt,suffix,dump", BINARY_FORMATS)
+    def test_corrupt_xz_stream(self, tmp_path, fmt, suffix, dump):
+        plain = tmp_path / f"t{suffix}"
+        dump(build_branchy_trace(), plain)
+        blob = bytearray(lzma.compress(plain.read_bytes()))
+        blob[len(blob) // 2] ^= 0xFF
+        wrapped = tmp_path / f"t{suffix}.xz"
+        wrapped.write_bytes(bytes(blob))
+        _load_or_typed_error(wrapped, fmt)
+
+
+class TestResourceClaims:
+    def test_riscv_multi_gb_claim_rejected_fast(self, tmp_path):
+        """A 16-byte header claiming 2^31 records over an empty payload
+        must fail on the size check, not allocate or loop."""
+        path = tmp_path / "huge.rv"
+        path.write_bytes(HEADER.pack(MAGIC, 64, 0, 0, 1 << 31))
+        with pytest.raises(TraceFormatError, match="claims"):
+            load_any(path, fmt="riscv")
+
+    def test_riscv_count_payload_mismatch(self, tmp_path):
+        path = tmp_path / "short.rv"
+        record = struct.pack("<QI", 0x1000, 0x00000013)
+        path.write_bytes(HEADER.pack(MAGIC, 64, 0, 0, 3) + record)
+        with pytest.raises(TraceFormatError, match="claims"):
+            load_any(path, fmt="riscv")
+
+    def test_riscv_compressed_claim_still_typed(self, tmp_path):
+        """Behind gzip the file size is unknown up front; the stream-end
+        check must still produce the typed error."""
+        path = tmp_path / "short.rv.gz"
+        record = struct.pack("<QI", 0x1000, 0x00000013)
+        with gzip.open(path, "wb") as handle:
+            handle.write(HEADER.pack(MAGIC, 64, 0, 0, 1000) + record)
+        with pytest.raises(TraceFormatError, match="ends"):
+            load_any(path, fmt="riscv")
+
+
+def test_formats_constant_matches_parametrization():
+    assert {fmt for fmt, _, _ in BINARY_FORMATS} <= set(FORMATS)

@@ -8,24 +8,14 @@ misbehaving writer could and assert ``run_cached`` recovers.
 
 from __future__ import annotations
 
-import os
 import pickle
 import threading
-
-import pytest
 
 import repro.analysis.runner as runner
 from repro.core import SimConfig
 
-
-@pytest.fixture()
-def cache_dir(tmp_path, monkeypatch):
-    """Redirect the disk cache to a fresh directory and clear memory."""
-    monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path))
-    monkeypatch.setenv("REPRO_SIM_CACHE", "1")
-    runner._memory_cache.clear()
-    yield tmp_path
-    runner._memory_cache.clear()
+# The `cache_dir` fixture (redirected disk cache + cleared memory cache)
+# is shared via tests/conftest.py.
 
 
 def _simulate_once(n: int = 2_000):

@@ -2,28 +2,13 @@
 
 import pytest
 
-from repro.isa import BranchClass, Trace, TraceEntry
 from repro.isa.textio import dump_text, load_text
 from repro.workloads import load_workload
 
 
-def sample_trace():
-    return Trace.from_entries(
-        "sample",
-        [
-            TraceEntry(0x1000),
-            TraceEntry(0x1004, BranchClass.CALL_DIRECT, True, 0x2000),
-            TraceEntry(0x2000),
-            TraceEntry(0x2004, BranchClass.RETURN, True, 0x1008),
-            TraceEntry(0x1008, BranchClass.COND_DIRECT, False, 0),
-            TraceEntry(0x100C),
-        ],
-    )
-
-
 class TestRoundTrip:
-    def test_exact_roundtrip(self, tmp_path):
-        trace = sample_trace()
+    def test_exact_roundtrip(self, tmp_path, sample_trace):
+        trace = sample_trace
         path = tmp_path / "t.txt"
         dump_text(trace, path)
         loaded = load_text(path)
@@ -42,9 +27,9 @@ class TestRoundTrip:
         loaded.validate()
         assert (loaded.next_pcs == trace.next_pcs).all()
 
-    def test_name_override(self, tmp_path):
+    def test_name_override(self, tmp_path, sample_trace):
         path = tmp_path / "t.txt"
-        dump_text(sample_trace(), path)
+        dump_text(sample_trace, path)
         assert load_text(path, name="renamed").name == "renamed"
 
     def test_name_falls_back_to_stem(self, tmp_path):

@@ -304,5 +304,90 @@ class TestCategories:
     def test_extended_categories_present(self):
         from repro.workloads.suite import CATEGORIES
 
-        for prefix in ("web", "db", "mix"):
+        for prefix in ("web", "db", "mix", "dc"):
             assert CATEGORIES[prefix], prefix
+
+
+class TestDatacenterSuite:
+    """The dc_* slice: deep-call / interpreter-dispatch / megamorphic."""
+
+    def test_all_six_registered(self):
+        from repro.workloads import DATACENTER_SUITE
+
+        assert sorted(DATACENTER_SUITE) == [
+            "dc_call_01", "dc_call_02",
+            "dc_interp_01", "dc_interp_02",
+            "dc_mega_01", "dc_mega_02",
+        ]
+        assert set(DATACENTER_SUITE) <= set(SUITE)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "dc_call_01", "dc_call_02",
+            "dc_interp_01", "dc_interp_02",
+            "dc_mega_01", "dc_mega_02",
+        ],
+    )
+    def test_deterministic_under_seed(self, name):
+        """Same name + length must regenerate the same dynamic stream —
+        the property every cache key and golden fixture rests on."""
+        config = SUITE[name]
+        from dataclasses import replace
+
+        a = generate_trace(replace(config, n_instructions=3_000))
+        b = generate_trace(replace(config, n_instructions=3_000))
+        a.validate()
+        assert (a.pcs == b.pcs).all()
+        assert (a.branch_classes == b.branch_classes).all()
+        assert (a.takens == b.takens).all()
+        assert (a.targets == b.targets).all()
+
+    def test_call_shape_is_call_heavy(self):
+        """Deep-call DAGs are dominated by *direct* call/return pairs.
+
+        Combined call_pki would be misleading here: the interpreter's
+        dispatcher loop issues indirect calls at a high rate, so the
+        contrast that actually characterises the RPC-stack shape is the
+        direct-call rate.
+        """
+        import numpy as np
+
+        from repro.isa import BranchClass
+
+        def direct_call_pki(name):
+            trace = load_workload(name, 10_000).trace
+            direct = trace.branch_classes == np.uint8(BranchClass.CALL_DIRECT)
+            return float(direct.sum()) / 10.0
+
+        assert direct_call_pki("dc_call_01") > 3 * direct_call_pki("dc_interp_01")
+
+    def test_interp_and_mega_are_indirect_heavy(self):
+        from repro.analysis.characterize import trace_profile
+
+        base = trace_profile(load_workload("int_01", 10_000).trace)
+        for name in ("dc_interp_01", "dc_mega_01"):
+            profile = trace_profile(load_workload(name, 10_000).trace)
+            assert profile["indirect_pki"] > 2 * base["indirect_pki"], name
+
+    def test_mega_has_wider_fanout_than_interp(self):
+        """Megamorphic sites revisit far more distinct targets."""
+        import numpy as np
+
+        from repro.isa import BranchClass
+
+        def distinct_targets_per_site(name):
+            trace = load_workload(name, 15_000).trace
+            mask = np.isin(
+                trace.branch_classes,
+                [np.uint8(BranchClass.CALL_INDIRECT), np.uint8(BranchClass.INDIRECT)],
+            )
+            sites: dict[int, set[int]] = {}
+            for pc, target in zip(trace.pcs[mask], trace.targets[mask]):
+                sites.setdefault(int(pc), set()).add(int(target))
+            assert sites, name
+            return sum(len(t) for t in sites.values()) / len(sites)
+
+        assert distinct_targets_per_site("dc_mega_01") > distinct_targets_per_site(
+            "dc_interp_01"
+        )
