@@ -105,6 +105,60 @@ def test_bench_json_schema(bench_payload):
         assert row["cycles"] > row["instructions"] / 8, key  # sanity: CPI floor
 
 
+def test_bench_environment_stamp(bench_payload, bench_environment):
+    """The payload records the execution mode it was measured in."""
+    assert bench_payload["environment"] == bench_environment
+    assert "REPRO_SIM_KERNEL" in bench_payload["environment"]
+
+
+def test_compare_refuses_cross_mode_gate(bench_payload):
+    """Baseline/flag mismatch fails loudly, never silently cross-compares."""
+    flipped = dict(bench_payload)
+    stamp = dict(bench_payload["environment"])
+    stamp["REPRO_SIM_KERNEL"] = "0" if stamp["REPRO_SIM_KERNEL"] == "1" else "1"
+    flipped["environment"] = stamp
+    with pytest.raises(ValueError, match="environment mismatch"):
+        lib.compare_bench(bench_payload, flipped)
+
+
+def test_compare_refuses_schema1_baseline(bench_payload):
+    """A pre-kernel (schema 1, no stamp) baseline is rejected with a
+    regenerate hint instead of being compared across modes."""
+    stale = {k: v for k, v in bench_payload.items() if k != "environment"}
+    stale["schema"] = 1
+    with pytest.raises(ValueError, match="regenerate"):
+        lib.compare_bench(stale, bench_payload)
+
+
+@pytest.mark.parametrize("key", sorted(lib.pinned_cases()))
+def test_kernel_bit_identical_vs_golden(key):
+    """The batched kernel reproduces the golden fixtures at bench scale.
+
+    ``test_bit_identical_vs_golden`` above arms ``check=True`` and thus
+    exercises the *interpreter* (the kernel defers to the sanitizer);
+    this counterpart forces the replay kernel on and compares the same
+    fixtures, so both execution modes are pinned to the same goldens.
+    """
+    from repro.core.pipeline import simulate
+    from repro.workloads import load_workload
+
+    workload, config = lib.pinned_cases()[key]
+    label = key.split("/")[1]
+    fixture = json.loads((GOLDEN_DIR / f"{workload}_{label}.json").read_text())
+    trace = load_workload(workload, lib.N_INSTRUCTIONS).trace
+    result = simulate(trace, config, name=workload, kernel=True)
+    actual = _stats_from_result(result)
+    expected = fixture["stats"]
+    for stat in EXACT_STATS:
+        assert actual[stat] == expected[stat], (
+            f"{key}: kernel drifted {stat} {expected[stat]} -> {actual[stat]}"
+        )
+    for stat in FLOAT_STATS:
+        assert actual[stat] == pytest.approx(expected[stat], abs=1e-6), (
+            f"{key}: kernel drifted {stat} {expected[stat]} -> {actual[stat]}"
+        )
+
+
 def test_no_regression_vs_baseline(bench_payload):
     """Geomean normalized throughput stays within 25% of the baseline."""
     assert lib.BASELINE_PATH.exists(), (

@@ -420,11 +420,16 @@ def _config_from_args(args: argparse.Namespace) -> SimConfig:
 
 
 def _simulate(args: argparse.Namespace) -> int:
+    from repro.core.kernel import KernelSimulator, kernel_enabled
     from repro.core.pipeline import Simulator
 
     config = _config_from_args(args)
     trace = load_workload(args.workload, args.instructions).trace
-    sim = Simulator(
+    # The kernel degrades to the interpreter on its own when --check or
+    # --trace activates the sanitizer/observer; REPRO_SIM_KERNEL=0 forces
+    # the interpreter outright.
+    sim_cls = KernelSimulator if kernel_enabled() else Simulator
+    sim = sim_cls(
         trace,
         config,
         check=True if args.check else None,
@@ -602,6 +607,11 @@ def _verify(args: argparse.Namespace) -> int:
     from repro.verify.differential import run_verification
     from repro.verify.faults import FAULTS, run_all_faults, run_fault
     from repro.verify.invariants import SimCheckError
+    from repro.verify.kernel_faults import (
+        KERNEL_FAULTS,
+        run_all_kernel_faults,
+        run_kernel_fault,
+    )
     from repro.verify.service_faults import (
         SERVICE_FAULTS,
         run_all_service_faults,
@@ -615,16 +625,28 @@ def _verify(args: argparse.Namespace) -> int:
         for service_fault in SERVICE_FAULTS.values():
             print(f"{service_fault.name:20s} {service_fault.description}")
             print(f"{'':20s} expected: error code {service_fault.expected_code}")
+        for kernel_fault in KERNEL_FAULTS.values():
+            print(f"{kernel_fault.name:20s} {kernel_fault.description}")
+            print(
+                f"{'':20s} expected: "
+                f"{', '.join(kernel_fault.expected_invariants)}"
+            )
         return 0
 
     if args.inject:
         results: list = []
         if args.inject == "all":
-            results = list(run_all_faults()) + list(run_all_service_faults())
+            results = (
+                list(run_all_faults())
+                + list(run_all_service_faults())
+                + list(run_all_kernel_faults())
+            )
         elif args.inject in FAULTS:
             results = [run_fault(args.inject)]
         elif args.inject in SERVICE_FAULTS:
             results = [run_service_fault(args.inject)]
+        elif args.inject in KERNEL_FAULTS:
+            results = [run_kernel_fault(args.inject)]
         else:
             print(
                 f"unknown fault {args.inject!r} — see `repro verify --list-faults`"

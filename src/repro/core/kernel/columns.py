@@ -1,0 +1,127 @@
+"""Per-trace precomputed kernel columns.
+
+The batched kernel trades per-instruction recomputation for one numpy
+pass per (trace, config-scalars) pair:
+
+* the backend's PC-hash latency and dependency-distance columns (the
+  exact integer formulas of :meth:`repro.core.backend.Backend.dispatch`,
+  vectorized);
+* the branch-span column ``next_branch`` (for every index, the first
+  index at or after it whose branch class is not ``NOT_BRANCH``, with
+  ``len(trace)`` as the no-more-branches sentinel) — this is what lets
+  the replay BPU jump over non-branch runs in one step instead of
+  walking them instruction by instruction;
+* the µ-op line column ``lines`` (``pc // l1i_line_size``), consumed by
+  the replay BPU's fetch-directed-prefetch pass.
+
+Columns are materialised as plain Python lists (per-element numpy
+indexing is slower than list indexing at simulator scale, see
+``Trace.list_columns``) and cached per live trace object in a weak-key
+map, so repeated simulations of the same trace — the perf harness, the
+experiment matrix, differential tests — pay the precompute once.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.core.configs import SimConfig
+from repro.isa.trace import Trace
+
+#: Cache key: every config scalar the column formulas consume.
+ColumnsKey = tuple[int, int, int, int, int, int, int]
+
+
+class KernelColumns:
+    """Precomputed per-instruction columns for one (trace, config) pair."""
+
+    __slots__ = ("n", "latency", "distance", "next_branch", "lines")
+
+    def __init__(
+        self,
+        n: int,
+        latency: list[int],
+        distance: list[int],
+        next_branch: list[int],
+        lines: list[int],
+    ) -> None:
+        self.n = n
+        #: Execution latency per non-branch instruction (PC-hash formula).
+        self.latency = latency
+        #: Synthetic dependency distance per non-branch instruction.
+        self.distance = distance
+        #: First branch index at or after each index (``n`` = none left).
+        self.next_branch = next_branch
+        #: L1I line id per instruction (``pc // line_size``).
+        self.lines = lines
+
+
+def columns_key(config: SimConfig) -> ColumnsKey:
+    """The config scalars the column formulas depend on."""
+    backend = config.backend
+    return (
+        backend.load_hash_mod,
+        backend.long_load_every,
+        backend.long_load_latency,
+        backend.load_latency,
+        backend.simple_latency,
+        backend.dep_window,
+        config.hierarchy.l1i.line_size,
+    )
+
+
+def build_columns(trace: Trace, config: SimConfig) -> KernelColumns:
+    """One vectorized pass over the trace columns (no caching)."""
+    backend = config.backend
+    n = len(trace)
+    pcs = trace.pcs
+    classes = trace.branch_classes
+
+    # Backend PC hash, vectorized — must match Backend.dispatch bit for bit.
+    h = pcs >> 2
+    h = h ^ (h >> 7)
+    h = h ^ (h >> 13)
+    h = h & 0xFFFF
+    is_load = (h % backend.load_hash_mod) == 0
+    is_long = ((h >> 8) % backend.long_load_every) == 0
+    latency = np.where(
+        is_load,
+        np.where(is_long, backend.long_load_latency, backend.load_latency),
+        backend.simple_latency,
+    )
+    distance = 1 + ((h >> 4) % backend.dep_window)
+
+    # next_branch: reverse running minimum over branch positions.
+    index = np.arange(n, dtype=np.int64)
+    marks = np.where(classes != 0, index, np.int64(n))
+    next_branch = np.minimum.accumulate(marks[::-1])[::-1]
+
+    lines = pcs // config.hierarchy.l1i.line_size
+
+    return KernelColumns(
+        n=n,
+        latency=latency.tolist(),
+        distance=distance.tolist(),
+        next_branch=next_branch.tolist(),
+        lines=lines.tolist(),
+    )
+
+
+_CACHE: weakref.WeakKeyDictionary[Trace, dict[ColumnsKey, KernelColumns]] = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_columns(trace: Trace, config: SimConfig) -> KernelColumns:
+    """Cached :func:`build_columns` (weakly keyed by the trace object)."""
+    per_trace = _CACHE.get(trace)
+    if per_trace is None:
+        per_trace = {}
+        _CACHE[trace] = per_trace
+    key = columns_key(config)
+    columns = per_trace.get(key)
+    if columns is None:
+        columns = per_trace[key] = build_columns(trace, config)
+    return columns

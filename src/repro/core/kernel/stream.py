@@ -1,0 +1,132 @@
+"""Record-once/replay-many prediction streams.
+
+The expensive half of the interpreter's per-cycle cost is the baseline
+predictor stack (TAGE-SC-L + ITTAGE + folded global histories).  Its
+output is *timing-independent*: the BPU stalls at every misprediction
+(no wrong-path fetch), so it processes each branch exactly once, in
+trace order, and every predictor consult/update sequence is a pure
+function of (trace, predictor configs) — block boundaries, FTQ pressure
+and stall cycles only change *when* a branch is processed, never *what*
+the predictors see.
+
+This module runs that sequence once per (trace, predictor-config) pair
+— mirroring ``BPU._build_block``'s call order exactly — and records
+
+* the :class:`~repro.branch.tage_sc_l.TageScLPrediction` object for
+  every conditional branch, and
+* the mispredict outcome for every indirect/indirect-call branch,
+
+which :class:`repro.core.kernel.engine.ReplayBPU` then consumes by
+cursor.  Everything *not* recorded here (BTB contents, RAS, bank sets,
+``taken_target``) stays live in the replay BPU: those structures are
+cheap, and UCP reads them mid-run.
+
+Streams are cached per live trace object in a weak-key map (the
+workload suite caches traces per (name, length), so repeated
+simulations — perf repeats, experiment matrices, differential tests —
+record once and replay many times).
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.branch.ittage import ITTAGE
+from repro.branch.tage_sc_l import TageScL, TageScLPrediction
+from repro.core.configs import SimConfig
+from repro.isa.instruction import BranchClass
+from repro.isa.trace import Trace
+
+_COND_DIRECT = int(BranchClass.COND_DIRECT)
+_CALL_INDIRECT = int(BranchClass.CALL_INDIRECT)
+_INDIRECT = int(BranchClass.INDIRECT)
+
+#: Cache key: the two predictor configs (frozen dataclasses).  BTB and
+#: RAS configuration is deliberately absent — neither feeds the TAGE or
+#: ITTAGE consult/update sequence.
+StreamKey = tuple[object, object]
+
+
+class PredictionStream:
+    """The recorded predictor outcomes for one (trace, config) pair."""
+
+    __slots__ = ("cond_predictions", "indirect_mispredicts")
+
+    def __init__(
+        self,
+        cond_predictions: list[TageScLPrediction],
+        indirect_mispredicts: list[bool],
+    ) -> None:
+        #: One prediction per conditional branch, in trace order.
+        self.cond_predictions = cond_predictions
+        #: One mispredict flag per indirect/indirect-call, in trace order.
+        self.indirect_mispredicts = indirect_mispredicts
+
+
+def stream_key(config: SimConfig) -> StreamKey:
+    return (config.branch_predictor, config.indirect_predictor)
+
+
+def record_stream(trace: Trace, config: SimConfig) -> PredictionStream:
+    """One pre-pass over the trace's branches (no caching).
+
+    The call order per branch class mirrors ``BPU._build_block`` /
+    ``BPU._handle_conditional`` / ``BPU._handle_indirect`` exactly —
+    predictor state is path-dependent, so any reordering would change
+    later predictions:
+
+    * conditional: ``cond.predict``, ``cond.update``,
+      ``indirect.push_history(pc, taken)``;
+    * any unconditional: ``cond.push_unconditional``,
+      ``indirect.push_history(pc, True)``;
+    * indirect / indirect call (additionally): ``indirect.predict``,
+      ``indirect.update``.
+
+    Returns and direct jumps/calls consult no predictor (the RAS stays
+    live in the replay BPU), so only their history pushes appear here.
+    """
+    cond = TageScL(config.branch_predictor)
+    indirect = ITTAGE(config.indirect_predictor)
+    pcs, classes, takens, targets, _next_pcs = trace.list_columns()
+
+    cond_predictions: list[TageScLPrediction] = []
+    indirect_mispredicts: list[bool] = []
+
+    branch_indices = trace.branch_classes.nonzero()[0].tolist()
+    for i in branch_indices:
+        branch_class = classes[i]
+        pc = pcs[i]
+        if branch_class == _COND_DIRECT:
+            taken = takens[i]
+            prediction = cond.predict(pc)
+            cond_predictions.append(prediction)
+            cond.update(prediction, taken)
+            indirect.push_history(pc, taken)
+            continue
+        cond.push_unconditional(pc)
+        indirect.push_history(pc, True)
+        if branch_class == _CALL_INDIRECT or branch_class == _INDIRECT:
+            target = targets[i]
+            ipred = indirect.predict(pc)
+            indirect_mispredicts.append(ipred.target != target)
+            indirect.update(ipred, target)
+
+    return PredictionStream(cond_predictions, indirect_mispredicts)
+
+
+_CACHE: weakref.WeakKeyDictionary[Trace, dict[StreamKey, PredictionStream]] = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_stream(trace: Trace, config: SimConfig) -> PredictionStream:
+    """Cached :func:`record_stream` (weakly keyed by the trace object)."""
+    per_trace = _CACHE.get(trace)
+    if per_trace is None:
+        per_trace = {}
+        _CACHE[trace] = per_trace
+    key = stream_key(config)
+    stream = per_trace.get(key)
+    if stream is None:
+        stream = per_trace[key] = record_stream(trace, config)
+    return stream

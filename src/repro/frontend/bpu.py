@@ -17,7 +17,7 @@ path trigger.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.branch.btb import make_btb
 from repro.branch.ittage import ITTAGE
@@ -73,8 +73,8 @@ class BPU:
         config: SimConfig,
         trace: Trace,
         stats: StatBlock,
-        hierarchy=None,
-        prefetcher=None,
+        hierarchy: Any = None,
+        prefetcher: Any = None,
     ) -> None:
         self.config = config
         self.trace = trace

@@ -1,0 +1,314 @@
+"""Kernel fault injection: deliberate replay bugs the oracle must catch.
+
+The batched kernel's correctness story rests on the kernel-vs-interpreter
+differential oracle (:mod:`repro.verify.kernel_diff`).  This module
+proves the oracle's *sensitivity* the same way :mod:`repro.verify.faults`
+proves the sanitizer's: each fault monkeypatches one
+:class:`~repro.core.kernel.engine.ReplayBPU` method with a subtly broken
+clone — the exact class of bug a batching refactor invites — and the
+harness asserts the differential fires with the ``kernel-differential``
+invariant.  Because only the replay class is patched, the interpreter
+reference stays clean and the oracle is the *only* thing standing
+between the bug and a silently wrong result.
+
+Exposed through ``repro verify --inject`` / ``--list-faults`` alongside
+the core and service fault registries.
+"""
+
+from __future__ import annotations
+
+from repro.verify.faults import Fault, FaultResult, _patched
+from repro.verify.invariants import SimCheckError
+from repro.verify.kernel_diff import kernel_differential
+from repro.workloads import load_workload
+
+KERNEL_FAULTS: dict[str, Fault] = {}
+
+
+def _register(fault: Fault) -> Fault:
+    if fault.name in KERNEL_FAULTS:
+        raise ValueError(f"duplicate kernel fault {fault.name!r}")
+    KERNEL_FAULTS[fault.name] = fault
+    return fault
+
+
+# ----------------------------------------------------------------------
+# The faults.  Each clones a ReplayBPU method minus one detail.
+# ----------------------------------------------------------------------
+
+
+def _inject_span_off_by_one():
+    """Span jump consumes one instruction too many (may swallow a branch)."""
+    from repro.core.kernel.engine import ReplayBPU
+    from repro.frontend.bpu import BranchClass
+    from repro.frontend.ftq import FetchBlock
+
+    _NOT_BRANCH = int(BranchClass.NOT_BRANCH)
+    _COND_DIRECT = int(BranchClass.COND_DIRECT)
+    _UNCOND_DIRECT = int(BranchClass.UNCOND_DIRECT)
+    _CALL_DIRECT = int(BranchClass.CALL_DIRECT)
+    _CALL_INDIRECT = int(BranchClass.CALL_INDIRECT)
+    _INDIRECT = int(BranchClass.INDIRECT)
+    _RETURN = int(BranchClass.RETURN)
+
+    def _build_block(self, cycle):
+        classes = self._classes
+        block_size = self._fetch_block_size
+        n_instructions = self._n_instructions
+        next_branch = self._next_branch
+        start = self.index
+        count = 0
+        ends_taken = False
+        mispredicted = False
+
+        while count < block_size and self.index < n_instructions:
+            i = self.index
+            nb = next_branch[i]
+            if nb > i:
+                # BUG: off-by-one span length — the terminating branch is
+                # counted as part of the non-branch run, so it is consumed
+                # as a plain instruction and its handler never runs.
+                run = nb - i + 1
+                room = block_size - count
+                if run > room:
+                    run = room
+                if i + run > n_instructions:
+                    run = n_instructions - i
+                self.index = i + run
+                count += run
+                continue
+            branch_class = classes[i]
+            self.index = i + 1
+            count += 1
+            if branch_class == _NOT_BRANCH:
+                continue
+
+            pc = self._pcs[i]
+            taken = self._takens[i]
+            target = self._targets[i]
+
+            if branch_class == _COND_DIRECT:
+                mispredicted, block_taken = self._handle_conditional(
+                    i, pc, taken, target, cycle
+                )
+                if mispredicted or block_taken:
+                    ends_taken = block_taken and not mispredicted
+                    break
+                continue
+
+            if self.uncond_hook is not None:
+                self.uncond_hook(pc)
+            if branch_class == _UNCOND_DIRECT:
+                self._direct_target(pc, BranchClass.UNCOND_DIRECT, target, cycle)
+            elif branch_class == _CALL_DIRECT:
+                self._direct_target(pc, BranchClass.CALL_DIRECT, target, cycle)
+                self.ras.push(pc + 4)
+                if self.context_hook is not None:
+                    self.context_hook(pc, target)
+            elif branch_class == _CALL_INDIRECT:
+                mispredicted = self._handle_indirect(i, pc, target)
+                self.ras.push(pc + 4)
+                if self.context_hook is not None:
+                    self.context_hook(pc, target)
+            elif branch_class == _INDIRECT:
+                mispredicted = self._handle_indirect(i, pc, target)
+            elif branch_class == _RETURN:
+                predicted = self.ras.pop()
+                if predicted != target:
+                    self.stats.add("ras_mispredictions")
+                    mispredicted = True
+                    self.stalled_on = i
+                    if self.observer is not None:
+                        self.observer.on_mispredict(i, pc, "return")
+                if self.context_hook is not None:
+                    self.context_hook(pc, target)
+            ends_taken = not mispredicted
+            break
+
+        return FetchBlock(start, count, ends_taken=ends_taken, mispredicted=mispredicted)
+
+    return _patched(ReplayBPU, "_build_block", _build_block)
+
+
+_register(
+    Fault(
+        name="kernel-span-off-by-one",
+        description="replay span jump overshoots by one instruction, "
+        "swallowing branches at span boundaries without handling them",
+        expected_invariants=("kernel-differential",),
+        inject=_inject_span_off_by_one,
+    )
+)
+
+
+def _inject_stale_branch_class():
+    """Replay treats direct calls as plain jumps (RAS never pushed)."""
+    from repro.core.kernel.engine import ReplayBPU
+    from repro.frontend.bpu import BranchClass
+    from repro.frontend.ftq import FetchBlock
+
+    _NOT_BRANCH = int(BranchClass.NOT_BRANCH)
+    _COND_DIRECT = int(BranchClass.COND_DIRECT)
+    _UNCOND_DIRECT = int(BranchClass.UNCOND_DIRECT)
+    _CALL_DIRECT = int(BranchClass.CALL_DIRECT)
+    _CALL_INDIRECT = int(BranchClass.CALL_INDIRECT)
+    _INDIRECT = int(BranchClass.INDIRECT)
+    _RETURN = int(BranchClass.RETURN)
+
+    def _build_block(self, cycle):
+        classes = self._classes
+        block_size = self._fetch_block_size
+        n_instructions = self._n_instructions
+        next_branch = self._next_branch
+        start = self.index
+        count = 0
+        ends_taken = False
+        mispredicted = False
+
+        while count < block_size and self.index < n_instructions:
+            i = self.index
+            nb = next_branch[i]
+            if nb > i:
+                run = nb - i
+                room = block_size - count
+                if run > room:
+                    run = room
+                self.index = i + run
+                count += run
+                continue
+            branch_class = classes[i]
+            self.index = i + 1
+            count += 1
+            if branch_class == _NOT_BRANCH:
+                continue
+
+            pc = self._pcs[i]
+            taken = self._takens[i]
+            target = self._targets[i]
+
+            if branch_class == _COND_DIRECT:
+                mispredicted, block_taken = self._handle_conditional(
+                    i, pc, taken, target, cycle
+                )
+                if mispredicted or block_taken:
+                    ends_taken = block_taken and not mispredicted
+                    break
+                continue
+
+            if self.uncond_hook is not None:
+                self.uncond_hook(pc)
+            # BUG: stale branch class — CALL_DIRECT falls into the plain
+            # UNCOND_DIRECT arm, so the return address is never pushed and
+            # every matching return pops a stale RAS entry.
+            if branch_class == _UNCOND_DIRECT or branch_class == _CALL_DIRECT:
+                self._direct_target(pc, BranchClass.UNCOND_DIRECT, target, cycle)
+            elif branch_class == _CALL_INDIRECT:
+                mispredicted = self._handle_indirect(i, pc, target)
+                self.ras.push(pc + 4)
+                if self.context_hook is not None:
+                    self.context_hook(pc, target)
+            elif branch_class == _INDIRECT:
+                mispredicted = self._handle_indirect(i, pc, target)
+            elif branch_class == _RETURN:
+                predicted = self.ras.pop()
+                if predicted != target:
+                    self.stats.add("ras_mispredictions")
+                    mispredicted = True
+                    self.stalled_on = i
+                    if self.observer is not None:
+                        self.observer.on_mispredict(i, pc, "return")
+                if self.context_hook is not None:
+                    self.context_hook(pc, target)
+            ends_taken = not mispredicted
+            break
+
+        return FetchBlock(start, count, ends_taken=ends_taken, mispredicted=mispredicted)
+
+    return _patched(ReplayBPU, "_build_block", _build_block)
+
+
+_register(
+    Fault(
+        name="kernel-stale-branch-class",
+        description="replay path handles direct calls as plain jumps: no "
+        "RAS push, so return prediction replays stale addresses",
+        expected_invariants=("kernel-differential",),
+        inject=_inject_stale_branch_class,
+        workload="dc_call_01",
+    )
+)
+
+
+def _inject_skipped_event_boundary():
+    """Replay redirect skips the redirect-latency bubble."""
+    from repro.core.kernel.engine import ReplayBPU
+
+    def redirect(self, cycle):
+        if self.stalled_on is None:
+            raise RuntimeError("redirect without a stalled branch")
+        self.stalled_on = None
+        # BUG: resume_cycle is not advanced — the misprediction-resolution
+        # event boundary is skipped and fetch resumes with zero bubble.
+
+    return _patched(ReplayBPU, "redirect", redirect)
+
+
+_register(
+    Fault(
+        name="kernel-skipped-event-boundary",
+        description="replay redirect drops the resume-cycle bubble: fetch "
+        "restarts instantly after every misprediction",
+        expected_invariants=("kernel-differential",),
+        inject=_inject_skipped_event_boundary,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def run_kernel_fault(name: str) -> FaultResult:
+    """Inject one kernel fault and run the differential oracle.
+
+    A catch means :class:`SimCheckError` fired with the
+    ``kernel-differential`` invariant; a run that crashes some other way,
+    or completes with identical results, is a miss.
+    """
+    fault = KERNEL_FAULTS[name]
+    trace = load_workload(fault.workload, fault.n_instructions).trace
+    with fault.inject():
+        try:
+            kernel_differential(trace, fault.config, name=fault.workload)
+        except SimCheckError as error:
+            expected = error.invariant in fault.expected_invariants
+            return FaultResult(
+                fault=name,
+                caught=expected,
+                invariant=error.invariant,
+                cycle=error.cycle,
+                detail=str(error)
+                if expected
+                else f"fired unexpected invariant: {error}",
+            )
+        except RuntimeError as error:
+            return FaultResult(
+                fault=name,
+                caught=False,
+                invariant=None,
+                cycle=None,
+                detail=f"run died without the oracle firing: {error}",
+            )
+    return FaultResult(
+        fault=name,
+        caught=False,
+        invariant=None,
+        cycle=None,
+        detail="differential oracle saw identical results — fault undetected",
+    )
+
+
+def run_all_kernel_faults() -> list[FaultResult]:
+    """Run every registered kernel fault (``repro verify --inject all``)."""
+    return [run_kernel_fault(name) for name in KERNEL_FAULTS]

@@ -1,0 +1,239 @@
+"""Batched kernel: column/stream units plus the differential gate.
+
+The replay kernel (:mod:`repro.core.kernel`) promises bit-identical
+results to the interpreter.  This file holds the committed enforcement:
+unit tests for the precomputed columns and the recorded prediction
+stream, the kernel-vs-interpreter differential over the pinned perf
+suite, the dc_* slice and the config variants, and the fallback/routing
+contract for ``REPRO_SIM_KERNEL``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.configs import SimConfig
+from repro.core.kernel import (
+    KernelSimulator,
+    build_columns,
+    get_columns,
+    get_stream,
+    kernel_applicable,
+    kernel_enabled,
+    record_stream,
+)
+from repro.core.pipeline import Simulator, simulate
+from repro.isa import BranchClass
+from repro.verify.kernel_diff import kernel_differential, run_kernel_differential
+from repro.workloads import load_workload
+
+from .conftest import build_branchy_trace
+
+
+# ----------------------------------------------------------------------
+# Columns
+# ----------------------------------------------------------------------
+
+
+class TestColumns:
+    def test_next_branch_matches_naive_scan(self):
+        trace = load_workload("int_02", 1_500).trace
+        columns = build_columns(trace, SimConfig())
+        classes = list(trace.branch_classes)
+        n = len(trace)
+        for i in range(n):
+            expected = next((j for j in range(i, n) if classes[j]), n)
+            assert columns.next_branch[i] == expected
+
+    def test_next_branch_on_branchy_trace(self):
+        trace = build_branchy_trace()
+        columns = build_columns(trace, SimConfig())
+        # Index 0 is a plain instruction, 1 is the first branch; the two
+        # trailing plain instructions point at the sentinel.
+        assert columns.next_branch[0] == 1
+        assert columns.next_branch[1] == 1
+        assert columns.next_branch[10] == len(trace)
+        assert columns.next_branch[11] == len(trace)
+
+    def test_latency_and_distance_match_backend_hash(self):
+        trace = load_workload("fp_01", 1_000).trace
+        config = SimConfig()
+        columns = build_columns(trace, config)
+        backend = config.backend
+        for i in range(len(trace)):
+            value = int(trace.pcs[i]) >> 2
+            value ^= value >> 7
+            value ^= value >> 13
+            h = value & 0xFFFF
+            if h % backend.load_hash_mod == 0:
+                if (h >> 8) % backend.long_load_every == 0:
+                    latency = backend.long_load_latency
+                else:
+                    latency = backend.load_latency
+            else:
+                latency = backend.simple_latency
+            assert columns.latency[i] == latency
+            assert columns.distance[i] == 1 + (h >> 4) % backend.dep_window
+
+    def test_lines_column(self):
+        trace = build_branchy_trace()
+        config = SimConfig()
+        columns = build_columns(trace, config)
+        line_size = config.hierarchy.l1i.line_size
+        assert columns.lines == [int(pc) // line_size for pc in trace.pcs]
+
+    def test_cache_reuses_per_trace_and_config(self):
+        trace = load_workload("int_02", 1_000).trace
+        config = SimConfig()
+        assert get_columns(trace, config) is get_columns(trace, config)
+        # A config differing only in non-column scalars shares nothing by
+        # key identity but an equal-key config hits the same entry.
+        same_key = replace(config, warmup_fraction=0.5)
+        assert get_columns(trace, same_key) is get_columns(trace, config)
+
+
+# ----------------------------------------------------------------------
+# Prediction stream
+# ----------------------------------------------------------------------
+
+
+class TestStream:
+    def test_stream_lengths_match_branch_mix(self):
+        trace = load_workload("int_02", 2_000).trace
+        stream = record_stream(trace, SimConfig())
+        classes = list(trace.branch_classes)
+        conds = sum(1 for c in classes if c == int(BranchClass.COND_DIRECT))
+        indirects = sum(
+            1
+            for c in classes
+            if c in (int(BranchClass.INDIRECT), int(BranchClass.CALL_INDIRECT))
+        )
+        assert len(stream.cond_predictions) == conds
+        assert len(stream.indirect_mispredicts) == indirects
+
+    def test_stream_cached_per_trace(self):
+        trace = load_workload("fp_01", 1_000).trace
+        config = SimConfig()
+        assert get_stream(trace, config) is get_stream(trace, config)
+
+
+# ----------------------------------------------------------------------
+# Differential: the committed bit-identity gate
+# ----------------------------------------------------------------------
+
+PINNED = ["fp_01", "int_02", "srv_05"]
+DC_SLICE = ["dc_call_01", "dc_interp_01", "dc_mega_01"]
+
+
+def _variants():
+    from repro.experiments.common import baseline_config, ucp_config
+
+    return {"base": baseline_config(), "ucp": ucp_config()}
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("workload", PINNED)
+    @pytest.mark.parametrize("label", ["base", "ucp"])
+    def test_pinned_suite_bit_identical(self, workload, label):
+        trace = load_workload(workload, 2_500).trace
+        kernel_differential(trace, _variants()[label], f"{workload}/{label}")
+
+    @pytest.mark.parametrize("workload", DC_SLICE)
+    def test_dc_slice_bit_identical(self, workload):
+        trace = load_workload(workload, 2_000).trace
+        for label, config in _variants().items():
+            kernel_differential(trace, config, f"{workload}/{label}")
+
+    @pytest.mark.parametrize(
+        "label,config_fn",
+        [
+            ("no_uop", lambda c: c.without_uop_cache()),
+            ("ideal", lambda c: replace(c, ideal_uop_cache=True)),
+            ("brcond", lambda c: replace(c, ideal_brcond_window=64)),
+            ("l1i_uop", lambda c: replace(c, l1i_hits_are_uop_hits=True)),
+            ("mrc", lambda c: replace(c, mrc_entries=64)),
+            ("djolt", lambda c: replace(c, l1i_prefetcher="djolt")),
+        ],
+    )
+    def test_config_variants_bit_identical(self, label, config_fn):
+        trace = load_workload("int_02", 2_000).trace
+        kernel_differential(trace, config_fn(SimConfig()), f"int_02/{label}")
+
+    def test_tiny_hand_trace_bit_identical(self, branchy_trace):
+        kernel_differential(branchy_trace, SimConfig(), "branchy")
+
+    def test_report_sweep_smoke(self):
+        report = run_kernel_differential(
+            n_instructions=1_000, workloads=("int_02",)
+        )
+        assert len(report.cases) == 2
+        payload = report.to_dict()
+        assert payload["oracle"] == "kernel-differential"
+        assert report.render().startswith("kernel-vs-interpreter")
+
+
+# ----------------------------------------------------------------------
+# Fallback + routing contract
+# ----------------------------------------------------------------------
+
+
+class TestGating:
+    def test_kernel_applicable_truth_table(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_CHECK", raising=False)
+        monkeypatch.delenv("REPRO_SIM_TRACE", raising=False)
+        assert kernel_applicable(None, None)
+        assert kernel_applicable(False, False)
+        assert not kernel_applicable(True, None)
+        assert not kernel_applicable(None, True)
+        monkeypatch.setenv("REPRO_SIM_CHECK", "1")
+        assert not kernel_applicable(None, None)
+        assert kernel_applicable(False, None)
+        monkeypatch.delenv("REPRO_SIM_CHECK")
+        monkeypatch.setenv("REPRO_SIM_TRACE", "1")
+        assert not kernel_applicable(None, None)
+        assert kernel_applicable(None, False)
+
+    def test_checker_forces_interpreter_components(self):
+        trace = load_workload("int_02", 1_000).trace
+        sim = KernelSimulator(trace, SimConfig(), check=True)
+        assert not sim.kernel_active
+        assert type(sim.bpu).__name__ == "BPU"
+        assert type(sim.backend).__name__ == "Backend"
+        sim.run()  # invariants armed, interpreter path, must stay green
+
+    def test_observer_fallback_is_bit_identical(self):
+        trace = load_workload("int_02", 1_500).trace
+        reference = simulate(trace, SimConfig(), observe=True, kernel=False)
+        fallback = simulate(trace, SimConfig(), observe=True, kernel=True)
+        assert reference.to_dict() == fallback.to_dict()
+
+    def test_kernel_enabled_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+        assert kernel_enabled() is True
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "0")
+        assert kernel_enabled() is False
+        assert kernel_enabled(True) is True
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "1")
+        assert kernel_enabled() is True
+        assert kernel_enabled(False) is False
+
+    def test_simulate_routes_by_env(self, monkeypatch):
+        trace = load_workload("fp_01", 1_500).trace
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "0")
+        interp = simulate(trace, SimConfig())
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "1")
+        kernel = simulate(trace, SimConfig())
+        assert interp.to_dict() == kernel.to_dict()
+
+    def test_kernel_components_are_swapped(self):
+        trace = load_workload("fp_01", 1_000).trace
+        sim = KernelSimulator(trace, SimConfig(), check=False, observe=False)
+        assert sim.kernel_active
+        assert type(sim.bpu).__name__ == "ReplayBPU"
+        assert type(sim.backend).__name__ == "KernelBackend"
+
+    def test_plain_simulator_untouched(self):
+        trace = load_workload("fp_01", 1_000).trace
+        sim = Simulator(trace, SimConfig())
+        assert type(sim.bpu).__name__ == "BPU"
+        assert type(sim.backend).__name__ == "Backend"

@@ -1,0 +1,57 @@
+"""Mutation-catch tests for the batched kernel.
+
+The kernel-vs-interpreter differential oracle is the only committed
+defence against a replay bug producing silently wrong (but plausible)
+results.  This suite injects the registered kernel faults — span
+off-by-one, stale branch class, skipped event boundary — and asserts
+the oracle catches every one with the ``kernel-differential`` invariant,
+mirroring ``test_verify_faults.py`` for the sanitizer.
+"""
+
+import pytest
+
+from repro.core.kernel.engine import ReplayBPU
+from repro.verify.kernel_diff import KERNEL_DIFFERENTIAL
+from repro.verify.kernel_faults import KERNEL_FAULTS, run_kernel_fault
+
+
+def test_registry_has_the_three_kernel_faults():
+    assert set(KERNEL_FAULTS) >= {
+        "kernel-span-off-by-one",
+        "kernel-stale-branch-class",
+        "kernel-skipped-event-boundary",
+    }
+
+
+def test_every_kernel_fault_expects_the_differential():
+    for fault in KERNEL_FAULTS.values():
+        assert KERNEL_DIFFERENTIAL in fault.expected_invariants
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_FAULTS))
+def test_kernel_fault_is_caught(name):
+    outcome = run_kernel_fault(name)
+    assert outcome.caught, outcome.render()
+    assert outcome.invariant == KERNEL_DIFFERENTIAL
+
+
+def test_patches_are_restored_after_runs():
+    original_build = ReplayBPU._build_block
+    original_redirect = ReplayBPU.redirect
+    for name in KERNEL_FAULTS:
+        run_kernel_fault(name)
+    assert ReplayBPU._build_block is original_build
+    assert ReplayBPU.redirect is original_redirect
+
+
+def test_faults_only_patch_the_replay_class():
+    """The interpreter reference must stay clean, or the differential
+    would compare one bug against itself."""
+    from repro.frontend.bpu import BPU
+
+    original_build = BPU._build_block
+    original_redirect = BPU.redirect
+    for fault in KERNEL_FAULTS.values():
+        with fault.inject():
+            assert BPU._build_block is original_build
+            assert BPU.redirect is original_redirect

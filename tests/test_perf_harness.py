@@ -182,9 +182,20 @@ class TestBenchSchema:
             lib.validate_bench(missing)
 
         wrong_schema = copy.deepcopy(payload)
-        wrong_schema["schema"] = 2
+        wrong_schema["schema"] = 99
         with pytest.raises(ValueError, match="schema"):
             lib.validate_bench(wrong_schema)
+
+        unstamped = copy.deepcopy(payload)
+        del unstamped["environment"]
+        with pytest.raises(ValueError, match="environment"):
+            lib.validate_bench(unstamped)
+
+        stale = copy.deepcopy(payload)
+        del stale["environment"]
+        stale["schema"] = 1
+        with pytest.raises(ValueError, match="regenerate"):
+            lib.validate_bench(stale)
 
         short = copy.deepcopy(payload)
         short["configs"].popitem()

@@ -57,6 +57,61 @@ def test_patch_restored_even_when_run_raises():
     assert FTQ.pop is original
 
 
+class TestFaultListingCompleteness:
+    """`repro verify --list-faults` must cover every registry, and every
+    registered fault must have a committed proof that it is caught.
+
+    A fault added to any registry but missing from the listing (or from a
+    mutation-catch suite) would ship silently — exactly the drift this
+    test pins down.
+    """
+
+    def _all_registries(self):
+        from repro.verify.kernel_faults import KERNEL_FAULTS
+        from repro.verify.service_faults import SERVICE_FAULTS
+
+        return {**FAULTS, **SERVICE_FAULTS, **KERNEL_FAULTS}
+
+    def test_registries_do_not_collide(self):
+        from repro.verify.kernel_faults import KERNEL_FAULTS
+        from repro.verify.service_faults import SERVICE_FAULTS
+
+        registries = [set(FAULTS), set(SERVICE_FAULTS), set(KERNEL_FAULTS)]
+        combined = set().union(*registries)
+        assert len(combined) == sum(len(r) for r in registries)
+
+    def test_every_registered_fault_is_listed(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--list-faults"]) == 0
+        listing = capsys.readouterr().out
+        for name in self._all_registries():
+            assert name in listing, f"{name} missing from --list-faults"
+
+    def test_every_registered_fault_dispatches_via_inject(self):
+        """--inject must recognise every registered name (dispatch drift:
+        listed but not injectable)."""
+        import repro.cli as cli
+
+        source = open(cli.__file__, encoding="utf-8").read()
+        for registry in ("FAULTS", "SERVICE_FAULTS", "KERNEL_FAULTS"):
+            assert f"args.inject in {registry}" in source, (
+                f"--inject does not dispatch on {registry}"
+            )
+
+    def test_every_fault_is_provably_caught(self):
+        """Each registry's sensitivity proof: run one representative from
+        the harness entry points that CI exercises exhaustively in the
+        parametrized suites (test_verify_faults / test_serve_faults /
+        test_kernel_faults)."""
+        from repro.verify.kernel_faults import KERNEL_FAULTS, run_kernel_fault
+        from repro.verify.service_faults import SERVICE_FAULTS, run_service_fault
+
+        assert run_fault(next(iter(FAULTS))).caught
+        assert run_service_fault(next(iter(SERVICE_FAULTS))).caught
+        assert run_kernel_fault(next(iter(KERNEL_FAULTS))).caught
+
+
 def test_differential_oracle_catches_dup_without_cycle_checks():
     """The commit-stream oracle alone (no per-cycle invariants) sees the
     duplicated µ-op: the retired sequence stops matching trace order."""
