@@ -41,6 +41,7 @@ from repro.analysis import runner as _runner
 from repro.common.stats import StatBlock, TimingSummary
 from repro.core.configs import SimConfig
 from repro.core.pipeline import SimResult, simulate
+from repro.observe import telemetry
 from repro.workloads.suite import load_workload
 
 __all__ = [
@@ -53,6 +54,19 @@ __all__ = [
     "resolve_job_timeout",
     "run_jobs",
 ]
+
+
+#: EngineStats counters mirrored into the telemetry registry per run
+#: (delta-based, so repeated runs accumulate process-lifetime totals).
+_MIRRORED_COUNTERS = (
+    "jobs_requested",
+    "jobs_deduped",
+    "jobs_from_memory",
+    "jobs_from_disk",
+    "jobs_simulated",
+    "jobs_failed",
+    "jobs_timed_out",
+)
 
 
 @dataclass(frozen=True)
@@ -280,44 +294,78 @@ class ParallelRunner:
         are still cached and a :class:`ParallelExecutionError` is raised.
         """
         start = time.perf_counter()  # lint-ok: SIM002 wall-clock telemetry for run reports
-        self.stats.counters.add("jobs_requested", len(jobs))
+        before = {name: self.stats.counters[name] for name in _MIRRORED_COUNTERS}
+        timings_before = len(self.stats.timings)
+        try:
+            self.stats.counters.add("jobs_requested", len(jobs))
 
-        # Single-flight dedup: two figures requesting the same key in one
-        # batch (or the same key twice in one suite) simulate once.
-        unique: dict[str, SimJob] = {}
-        for job in jobs:
-            if job.key in unique:
-                self.stats.counters.add("jobs_deduped")
-            else:
-                unique[job.key] = job
+            # Single-flight dedup: two figures requesting the same key in one
+            # batch (or the same key twice in one suite) simulate once.
+            unique: dict[str, SimJob] = {}
+            for job in jobs:
+                if job.key in unique:
+                    self.stats.counters.add("jobs_deduped")
+                else:
+                    unique[job.key] = job
 
-        state = _RunState(total=len(unique))
-        pending: list[SimJob] = []
-        for key, job in unique.items():
-            cached = _runner._memory_cache.get(key)
-            if cached is not None:
-                self.stats.counters.add("jobs_from_memory")
-                self._resolve(state, job, cached)
-                continue
-            cached = _runner._load_disk(key)
-            if cached is not None:
-                self.stats.counters.add("jobs_from_disk")
-                _runner._memory_cache[key] = cached
-                self._resolve(state, job, cached)
-                continue
-            pending.append(job)
+            state = _RunState(total=len(unique))
+            pending: list[SimJob] = []
+            for key, job in unique.items():
+                cached = _runner._memory_cache.get(key)
+                if cached is not None:
+                    self.stats.counters.add("jobs_from_memory")
+                    self._resolve(state, job, cached)
+                    continue
+                cached = _runner._load_disk(key)
+                if cached is not None:
+                    self.stats.counters.add("jobs_from_disk")
+                    _runner._memory_cache[key] = cached
+                    self._resolve(state, job, cached)
+                    continue
+                pending.append(job)
 
-        if pending:
-            context = _pool_context()
-            if self._effective_workers(len(pending)) == 1 or context is None:
-                self._run_serial(state, pending)
-            else:
-                self._run_pool(state, pending, context)
+            if pending:
+                context = _pool_context()
+                if self._effective_workers(len(pending)) == 1 or context is None:
+                    self._run_serial(state, pending)
+                else:
+                    self._run_pool(state, pending, context)
+        finally:
+            self.stats.wall_seconds += time.perf_counter() - start  # lint-ok: SIM002 timing telemetry
+            self._mirror_telemetry(before, timings_before)
 
-        self.stats.wall_seconds += time.perf_counter() - start  # lint-ok: SIM002 timing telemetry
         if state.failures:
             raise ParallelExecutionError(state.failures)
         return state.results
+
+    def _mirror_telemetry(
+        self, before: dict[str, int], timings_before: int
+    ) -> None:
+        """Mirror this run's counter deltas into the telemetry registry.
+
+        The per-run :class:`EngineStats` StatBlock stays authoritative
+        (and deterministic); the registry gets process-lifetime totals so
+        ``repro serve --metrics-port`` / ``repro top`` can see the engine
+        without reaching into runner objects.
+        """
+        tel = telemetry.maybe()
+        if tel is None:
+            return
+        family = tel.counter(
+            "repro_engine_jobs_total",
+            "ParallelRunner job outcomes (process lifetime).",
+            labels=("outcome",),
+        )
+        for name in _MIRRORED_COUNTERS:
+            delta = self.stats.counters[name] - before[name]
+            if delta > 0:
+                family.inc(delta, outcome=name.removeprefix("jobs_"))
+        seconds = tel.histogram(
+            "repro_engine_job_seconds",
+            "Wall seconds per executed (non-cache-hit) engine job.",
+        )
+        for timing in self.stats.timings[timings_before:]:
+            seconds.observe(timing.seconds)
 
     # -- internals ---------------------------------------------------------
 

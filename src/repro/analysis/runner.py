@@ -35,6 +35,7 @@ from pathlib import Path
 
 from repro.core.configs import SimConfig
 from repro.core.pipeline import SimResult, simulate
+from repro.observe import telemetry
 from repro.workloads.suite import load_workload
 
 #: Bump to invalidate previously cached simulation results.  v5 introduced
@@ -121,15 +122,37 @@ def _load_disk(key: str) -> SimResult | None:
     """Load a verified entry from disk; quarantine anything suspect."""
     if not _disk_enabled():
         return None
+    tel = telemetry.maybe()
     path = _entry_path(key)
     if not path.exists():
+        if tel is not None:
+            tel.counter(
+                "repro_cache_misses_total",
+                "Disk-cache probes that found no usable entry.",
+            ).inc()
         return None
     try:
         result = _decode_entry(key, path.read_bytes())
     except Exception:
         # Truncated, stale-format, or bit-rotted — drop it and re-simulate.
         path.unlink(missing_ok=True)
+        if tel is not None:
+            tel.counter(
+                "repro_cache_corrupt_dropped_total",
+                "Disk-cache entries discarded for failing the envelope "
+                "check (version, key, or checksum).",
+            ).inc()
+            tel.counter(
+                "repro_cache_misses_total",
+                "Disk-cache probes that found no usable entry.",
+            ).inc()
         return None
+    if tel is not None:
+        tel.counter(
+            "repro_cache_hits_total",
+            "Result-cache hits by tier.",
+            labels=("tier",),
+        ).inc(tier="disk")
     return result
 
 
@@ -160,9 +183,20 @@ def _store_disk(key: str, result: SimResult) -> None:
         from repro.serve.eviction import maybe_evict
 
         maybe_evict(protect_keys=(key,), directory=directory)
+        tel = telemetry.maybe()
+        if tel is not None:
+            tel.counter(
+                "repro_cache_stores_total",
+                "Result-cache entries persisted to disk.",
+            ).inc()
     except Exception:
         # Caching is best-effort; the in-memory result is still valid.
-        pass
+        tel = telemetry.maybe()
+        if tel is not None:
+            tel.counter(
+                "repro_cache_store_errors_total",
+                "Best-effort disk-cache writes that failed and were dropped.",
+            ).inc()
 
 
 def run_cached(workload: str, config: SimConfig, n_instructions: int = 40_000) -> SimResult:
@@ -175,6 +209,13 @@ def run_cached(workload: str, config: SimConfig, n_instructions: int = 40_000) -
     while True:
         result = _memory_cache.get(key)
         if result is not None:
+            tel = telemetry.maybe()
+            if tel is not None:
+                tel.counter(
+                    "repro_cache_hits_total",
+                    "Result-cache hits by tier.",
+                    labels=("tier",),
+                ).inc(tier="memory")
             return result
 
         with _inflight_lock:
@@ -186,6 +227,13 @@ def run_cached(workload: str, config: SimConfig, n_instructions: int = 40_000) -
             if pending is None:
                 _inflight[key] = threading.Event()
                 break  # we own the flight
+        tel = telemetry.maybe()
+        if tel is not None:
+            tel.counter(
+                "repro_cache_singleflight_joins_total",
+                "run_cached calls that joined another thread's in-flight "
+                "simulation instead of duplicating it.",
+            ).inc()
         pending.wait()
 
     try:
@@ -279,6 +327,41 @@ def cache_stats() -> dict:
         "memory_entries": len(_memory_cache),
         "snapshot_entries": None if snapshot is None else len(snapshot),
         "cache_version": CACHE_VERSION,
+        "telemetry": lifetime_cache_stats(),
+    }
+
+
+def lifetime_cache_stats() -> dict | None:
+    """Process-lifetime hit/miss/eviction rates from the telemetry plane.
+
+    None when ``REPRO_SIM_TELEMETRY`` is off (the disk index above is
+    still reported) — the rates only exist while the metrics registry is
+    collecting.  Counters that never fired read as 0.
+    """
+    tel = telemetry.maybe()
+    if tel is None:
+        return None
+
+    def count(name: str, **labels: str) -> int:
+        assert tel is not None  # the early return above proves it
+        return int(tel.value(name, **labels) or 0)
+
+    hits_memory = count("repro_cache_hits_total", tier="memory")
+    hits_disk = count("repro_cache_hits_total", tier="disk")
+    misses = count("repro_cache_misses_total")
+    hits = hits_memory + hits_disk
+    probes = hits + misses
+    return {
+        "hits_memory": hits_memory,
+        "hits_disk": hits_disk,
+        "misses": misses,
+        "hit_rate": round(hits / probes, 4) if probes else None,
+        "stores": count("repro_cache_stores_total"),
+        "store_errors": count("repro_cache_store_errors_total"),
+        "evictions": count("repro_cache_evictions_total"),
+        "evicted_bytes": count("repro_cache_evicted_bytes_total"),
+        "corrupt_dropped": count("repro_cache_corrupt_dropped_total"),
+        "singleflight_joins": count("repro_cache_singleflight_joins_total"),
     }
 
 

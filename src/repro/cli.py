@@ -38,12 +38,22 @@ Commands
 ``cache stats|clear|verify|prune|snapshot``
     Inspect, wipe, integrity-check, LRU-evict, or snapshot-index the
     simulation result cache (``.simcache/`` or ``REPRO_SIM_CACHE_DIR``).
-    ``verify`` exits non-zero whenever corrupt entries are found;
-    ``prune`` enforces ``--max-bytes``/``--max-entries`` bounds.
+    ``stats`` also reports process-lifetime hit/miss/eviction rates when
+    ``REPRO_SIM_TELEMETRY`` is on, and takes ``--json``; ``verify``
+    exits non-zero whenever corrupt entries are found; ``prune``
+    enforces ``--max-bytes``/``--max-entries`` bounds.
 ``serve``
     Run the asyncio experiment server (:mod:`repro.serve`): NDJSON
     requests over a local TCP socket, single-flight deduplication across
     clients, sharded worker pools, streamed progress events.
+    ``--metrics-port N`` additionally serves the telemetry registry as
+    Prometheus text on ``http://HOST:N/metrics`` (and JSON on
+    ``/metrics.json``) when ``REPRO_SIM_TELEMETRY=1``.
+``top``
+    Live terminal dashboard over a running server's ``status`` verb:
+    scheduler counters, queue/shard health, cache state, and the
+    telemetry metric families (``--once`` prints a single frame,
+    ``--json`` dumps the raw status).
 ``ingest inspect|convert|characterize``
     The real-trace frontend (:mod:`repro.isa.ingest`).  ``inspect FILE``
     detects the container format (ChampSim / CVP-1 / RISC-V / text /
@@ -204,7 +214,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cache = commands.add_parser("cache", help="manage the simulation result cache")
     cache_actions = cache.add_subparsers(dest="cache_action", required=True)
-    cache_actions.add_parser("stats", help="show cache size and location")
+    cache_stats_cmd = cache_actions.add_parser(
+        "stats", help="show cache size, location, and lifetime hit rates"
+    )
+    cache_stats_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats as JSON (includes the telemetry section)",
+    )
     cache_actions.add_parser("clear", help="delete all cached results")
     cache_verify = cache_actions.add_parser(
         "verify", help="integrity-check every cached entry"
@@ -272,6 +289,36 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="refuse new requests past this queue depth "
         "(default: REPRO_SERVE_MAX_PENDING or 1024)",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="N",
+        help="also expose the telemetry registry over HTTP on this port "
+        "(/metrics Prometheus text, /metrics.json; 0 picks a free port)",
+    )
+
+    top = commands.add_parser(
+        "top", help="live dashboard over a running experiment server"
+    )
+    top.add_argument(
+        "--host", default="127.0.0.1", help="server address (default: 127.0.0.1)"
+    )
+    top.add_argument("--port", type=int, required=True, help="server port")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default: 2.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the raw status message instead of rendering",
     )
 
     export = commands.add_parser("export", help="export a workload trace")
@@ -486,14 +533,26 @@ def _trace(args: argparse.Namespace) -> int:
 def _metrics(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
     from repro.common.output import resolve_output_path
+    from repro.core.kernel import KernelSimulator, kernel_enabled
     from repro.core.pipeline import Simulator
     from repro.observe.metrics import DEFAULT_INTERVAL
 
     config = _config_from_args(args)
     trace = load_workload(args.workload, args.instructions).trace
     interval = args.interval if args.interval is not None else None
-    sim = Simulator(trace, config, observe=True, interval=interval)
+    # Kernel-aware on purpose: interval metrics arm the observer, which
+    # forces the interpreter — surface that fallback instead of hiding it.
+    sim_cls = KernelSimulator if kernel_enabled() else Simulator
+    sim = sim_cls(trace, config, observe=True, interval=interval)
     result = sim.run()
+    if isinstance(sim, KernelSimulator) and not sim.kernel_active:
+        kernel_state = f"interpreter ({sim.kernel_fallback_reason})"
+    elif isinstance(sim, KernelSimulator):
+        kernel_state = "replay kernel"
+    else:
+        kernel_state = "interpreter (REPRO_SIM_KERNEL=0)"
+    print(f"engine: {kernel_state}")
+    print()
 
     samples = result.intervals
     window = args.interval if args.interval else DEFAULT_INTERVAL
@@ -526,6 +585,7 @@ def _metrics(args: argparse.Namespace) -> int:
         payload = {
             "workload": args.workload,
             "instructions": args.instructions,
+            "engine": kernel_state,
             "intervals": samples,
             "taxonomy": sim.observer.taxonomy.as_dict(),
             "characterization": trace_profile(trace),
@@ -674,6 +734,11 @@ def _cache(args: argparse.Namespace) -> int:
 
     if args.cache_action == "stats":
         stats = cache_stats()
+        if args.json:
+            import json
+
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
         bound = lambda v: "unbounded" if v is None else str(v)  # noqa: E731
         print(f"directory      {stats['directory']}")
         print(f"disk cache     {'enabled' if stats['disk_enabled'] else 'disabled'}")
@@ -687,6 +752,19 @@ def _cache(args: argparse.Namespace) -> int:
             "snapshot       "
             + ("none" if snapshot is None else f"{snapshot} entries indexed")
         )
+        lifetime = stats.get("telemetry")
+        if lifetime is None:
+            print("lifetime       (off — set REPRO_SIM_TELEMETRY=1 to track rates)")
+        else:
+            rate = lifetime["hit_rate"]
+            print(
+                "lifetime       "
+                f"hit rate {'n/a' if rate is None else f'{rate * 100:.1f}%'} "
+                f"(memory {lifetime['hits_memory']} + disk {lifetime['hits_disk']} "
+                f"hits, {lifetime['misses']} misses), "
+                f"{lifetime['stores']} stores, {lifetime['evictions']} evictions, "
+                f"{lifetime['corrupt_dropped']} corrupt dropped"
+            )
         return 0
     if args.cache_action == "clear":
         print(f"removed {clear_disk_cache()} cached result(s)")
@@ -737,6 +815,7 @@ def _serve(args: argparse.Namespace) -> int:
         mode=args.mode,
         job_timeout=args.job_timeout,
         max_pending=args.max_pending,
+        metrics_port=args.metrics_port,
     )
 
     async def _run() -> None:
@@ -751,6 +830,18 @@ def _serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nserver stopped")
     return 0
+
+
+def _top(args: argparse.Namespace) -> int:
+    from repro.observe.telemetry.top import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval=args.interval,
+        once=args.once,
+        as_json=args.json,
+    )
 
 
 def _export(args: argparse.Namespace) -> int:
@@ -935,6 +1026,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cache(args)
         if args.command == "serve":
             return _serve(args)
+        if args.command == "top":
+            return _top(args)
         if args.command == "export":
             return _export(args)
         if args.command == "ingest":

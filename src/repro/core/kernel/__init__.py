@@ -27,6 +27,7 @@ from repro.core.kernel.engine import (
     KernelBackend,
     KernelSimulator,
     ReplayBPU,
+    kernel_applicability,
     kernel_applicable,
 )
 from repro.core.kernel.stream import PredictionStream, get_stream, record_stream, stream_key
@@ -41,6 +42,7 @@ __all__ = [
     "columns_key",
     "get_columns",
     "get_stream",
+    "kernel_applicability",
     "kernel_applicable",
     "kernel_enabled",
     "record_stream",

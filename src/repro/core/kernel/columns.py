@@ -122,6 +122,17 @@ def get_columns(trace: Trace, config: SimConfig) -> KernelColumns:
         _CACHE[trace] = per_trace
     key = columns_key(config)
     columns = per_trace.get(key)
+    built = columns is None
     if columns is None:
         columns = per_trace[key] = build_columns(trace, config)
+    from repro.observe import telemetry
+
+    tel = telemetry.maybe()
+    if tel is not None:
+        tel.counter(
+            "repro_kernel_columns_total",
+            "Kernel column lookups: built fresh vs reused from the "
+            "per-trace cache.",
+            labels=("outcome",),
+        ).inc(outcome="built" if built else "reused")
     return columns

@@ -32,6 +32,7 @@ before any component is built.
 
 from __future__ import annotations
 
+import logging
 from typing import Any
 
 from repro.common.stats import StatBlock
@@ -39,7 +40,7 @@ from repro.core.backend import Backend
 from repro.core.configs import BackendConfig, SimConfig
 from repro.core.kernel.columns import KernelColumns, get_columns
 from repro.core.kernel.stream import PredictionStream, get_stream
-from repro.core.pipeline import Simulator
+from repro.core.pipeline import SimResult, Simulator
 from repro.frontend.bpu import BPU, BranchEvent
 from repro.frontend.ftq import FetchBlock
 from repro.isa.instruction import BranchClass
@@ -54,24 +55,67 @@ _INDIRECT = int(BranchClass.INDIRECT)
 _RETURN = int(BranchClass.RETURN)
 
 
-def kernel_applicable(check: bool | None, observe: bool | None) -> bool:
-    """True when the replay kernel may run for these checker/observer args.
+def kernel_applicability(
+    check: bool | None, observe: bool | None
+) -> tuple[bool, str | None]:
+    """Kernel go/no-go plus the no-go reason for these checker/observer args.
 
     Mirrors ``repro.verify.make_checker`` and ``repro.observe.
     make_observer``: a checker exists iff ``check is True`` or (``check
     is None`` and ``REPRO_SIM_CHECK`` is set); same for the observer and
     ``REPRO_SIM_TRACE``.  Either one active forces the interpreter.
+
+    Returns ``(True, None)`` when the replay kernel may run, else
+    ``(False, reason)`` with reason in ``{"checker-armed",
+    "observer-armed"}`` — the label recorded on the
+    ``repro_kernel_fallback_total`` counter and in the one-time warning.
     """
-    if check is True or observe is True:
-        return False
+    if check is True:
+        return False, "checker-armed"
+    if observe is True:
+        return False, "observer-armed"
     from repro.observe import trace_level
     from repro.verify import check_level
 
     if check is None and check_level() > 0:
-        return False
+        return False, "checker-armed"
     if observe is None and trace_level() > 0:
-        return False
-    return True
+        return False, "observer-armed"
+    return True, None
+
+
+def kernel_applicable(check: bool | None, observe: bool | None) -> bool:
+    """True when the replay kernel may run (see :func:`kernel_applicability`)."""
+    applicable, _reason = kernel_applicability(check, observe)
+    return applicable
+
+
+_log = logging.getLogger(__name__)
+
+#: Fallback reasons already warned about in this process (one warning
+#: per reason, not one per simulation — a suite of thousands of checked
+#: runs should say "interpreter because checker" exactly once).
+_WARNED_REASONS: set[str] = set()
+
+
+def _note_kernel_fallback(reason: str) -> None:
+    """Record a silent-fallback event: labeled counter + one-time warning."""
+    from repro.observe import telemetry
+
+    tel = telemetry.maybe()
+    if tel is not None:
+        tel.counter(
+            "repro_kernel_fallback_total",
+            "Replay-kernel runs that fell back to the interpreter, by reason.",
+            labels=("reason",),
+        ).inc(reason=reason)
+    if reason not in _WARNED_REASONS:
+        _WARNED_REASONS.add(reason)
+        _log.warning(
+            "replay kernel inactive (%s): simulating with the interpreter; "
+            "this is the bit-identical slow path, not an error",
+            reason,
+        )
 
 
 class ReplayBPU(BPU):
@@ -320,7 +364,11 @@ class KernelSimulator(Simulator):
         observe: bool | None = None,
         interval: int | None = None,
     ) -> None:
-        self._kernel_active = kernel_applicable(check, observe)
+        self._kernel_active, self._fallback_reason = kernel_applicability(
+            check, observe
+        )
+        if self._fallback_reason is not None:
+            _note_kernel_fallback(self._fallback_reason)
         self._kernel_columns: KernelColumns | None = None
         super().__init__(
             trace,
@@ -343,6 +391,31 @@ class KernelSimulator(Simulator):
     def kernel_active(self) -> bool:
         """True when this run uses the replay kernel (else interpreter)."""
         return self._kernel_active
+
+    @property
+    def kernel_fallback_reason(self) -> str | None:
+        """Why the kernel is inactive (None when :attr:`kernel_active`)."""
+        return self._fallback_reason
+
+    def run(self) -> SimResult:
+        result = super().run()
+        from repro.observe import telemetry
+
+        tel = telemetry.maybe()
+        if tel is not None and self._kernel_active:
+            tel.counter(
+                "repro_kernel_runs_total",
+                "Simulations completed on the replay kernel.",
+            ).inc()
+            # Span-jump savings: every non-branch instruction is consumed
+            # by a precomputed-span jump instead of a per-instruction step.
+            classes = self.trace.branch_classes
+            tel.counter(
+                "repro_kernel_span_jumped_instructions_total",
+                "Instructions consumed via next_branch span jumps instead "
+                "of per-instruction walking.",
+            ).inc(int((classes == 0).sum()))
+        return result
 
     def _make_bpu(self) -> BPU:
         if not self._kernel_active:

@@ -127,6 +127,17 @@ def get_stream(trace: Trace, config: SimConfig) -> PredictionStream:
         _CACHE[trace] = per_trace
     key = stream_key(config)
     stream = per_trace.get(key)
+    built = stream is None
     if stream is None:
         stream = per_trace[key] = record_stream(trace, config)
+    from repro.observe import telemetry
+
+    tel = telemetry.maybe()
+    if tel is not None:
+        tel.counter(
+            "repro_kernel_stream_total",
+            "Prediction-stream lookups: recorded fresh vs replayed from "
+            "the per-trace cache.",
+            labels=("outcome",),
+        ).inc(outcome="recorded" if built else "reused")
     return stream

@@ -1,17 +1,20 @@
 """Simulator-contract rules: SIM004 (hook gating), SIM005 (integer
-counters), SIM006 (order-stable iteration).
+counters), SIM006 (order-stable iteration), SIM008 (telemetry-handle
+gating).
 
 These encode contracts the runtime sanitizer cannot see: SIM004 is the
 PR 2/4 zero-cost-when-off promise (instrumentation must cost exactly one
 pointer test when disabled), SIM005 keeps `StatBlock` counters exact
-integers (float accumulation drifts across summation orders), and SIM006
+integers (float accumulation drifts across summation orders), SIM006
 forbids iteration orders that depend on hash seeding from feeding
-anything observable.
+anything observable, and SIM008 extends the SIM004 promise to the
+service-telemetry handles (`telemetry.maybe*()` returns None when off).
 """
 
 from __future__ import annotations
 
 import ast
+from typing import Callable
 
 from repro.lint.findings import Finding
 from repro.lint.rules import (
@@ -58,11 +61,26 @@ def _guard_candidates(receiver: str) -> set[str]:
 
 
 class _GatingVisitor(ast.NodeVisitor):
-    """Tracks which receivers are proven non-None on the current path."""
+    """Tracks which receivers are proven non-None on the current path.
 
-    def __init__(self, rule: "UngatedHookRule", module: SourceModule) -> None:
+    Shared by SIM004 and SIM008: ``matcher`` decides which call
+    receivers are nullable handles (hook attributes vs. telemetry
+    locals), the guard bookkeeping is identical.
+    """
+
+    def __init__(
+        self,
+        rule: Rule,
+        module: SourceModule,
+        matcher: Callable[[ast.expr], str | None] = _hook_receiver,
+        message: str = "hook call through `{receiver}` is not gated by a "
+        "pointer test (`if {receiver} is not None:`) — the "
+        "off-path must cost exactly one attribute test",
+    ) -> None:
         self.rule = rule
         self.module = module
+        self.matcher = matcher
+        self.message = message
         self.findings: list[Finding] = []
         self._guards: list[set[str]] = [set()]
 
@@ -146,15 +164,13 @@ class _GatingVisitor(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         if isinstance(node.func, ast.Attribute):
-            receiver = _hook_receiver(node.func.value)
+            receiver = self.matcher(node.func.value)
             if receiver is not None and not self._guarded(receiver):
                 self.findings.append(
                     self.rule.finding(
                         self.module,
                         node,
-                        f"hook call through `{receiver}` is not gated by a "
-                        f"pointer test (`if {receiver} is not None:`) — the "
-                        "off-path must cost exactly one attribute test",
+                        self.message.format(receiver=receiver),
                     )
                 )
         self.generic_visit(node)
@@ -194,6 +210,96 @@ class FTQ:
         if not module.module.startswith(self.SCOPES):
             return []
         visitor = _GatingVisitor(self, module)
+        visitor._visit_body(list(module.tree.body))
+        return visitor.findings
+
+
+# ---------------------------------------------------------------------------
+# SIM008 — telemetry maybe-handles must sit behind one None test
+# ---------------------------------------------------------------------------
+
+#: The nullable-handle factories of ``repro.observe.telemetry``.
+_TELEMETRY_FACTORIES = frozenset({"maybe", "maybe_spans", "maybe_recorder"})
+
+
+def _telemetry_handle_names(tree: ast.AST) -> set[str]:
+    """Names assigned from a ``telemetry.maybe*()`` call, module-wide.
+
+    Scope-insensitive on purpose: in this codebase the handle names
+    (``tel``/``sink``/``rec``) are conventional, and treating them as
+    tainted everywhere keeps the rule simple while still proving every
+    real site.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        called = dotted_name(node.value.func)
+        if called is None or called.split(".")[-1] not in _TELEMETRY_FACTORIES:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+@register
+class UngatedTelemetryRule(Rule):
+    code = "SIM008"
+    title = "telemetry maybe-handles must be gated by one None test"
+    rationale = """\
+`repro.observe.telemetry.maybe()` / `maybe_spans()` / `maybe_recorder()`
+return None whenever `REPRO_SIM_TELEMETRY` is off — that None *is* the
+zero-cost-when-off mechanism, exactly like the SIM004 observer/checker
+pointers.  A method call through an unguarded handle crashes every
+default-configuration run (`None.counter`), and wrapping it in
+try/except instead of a None test hides the cost model the perf gate
+assumes.  Every call through a maybe-assigned handle in the service
+layers (`repro.serve`, `repro.analysis`, `repro.core`) must appear
+under `if <handle> is not None:` (or an equivalent early-exit/`and`/
+conditional-expression guard)."""
+    bad_example = """\
+def record_hit(tier: str) -> None:
+    tel = telemetry.maybe()
+    tel.counter("repro_cache_hits_total", "Cache hits.", labels=("tier",)).inc(
+        tier=tier
+    )
+"""
+    good_example = """\
+def record_hit(tier: str) -> None:
+    tel = telemetry.maybe()
+    if tel is not None:
+        tel.counter(
+            "repro_cache_hits_total", "Cache hits.", labels=("tier",)
+        ).inc(tier=tier)
+"""
+
+    #: Package prefixes whose telemetry sites the rule audits.
+    SCOPES = ("repro.serve", "repro.analysis", "repro.core")
+    #: The telemetry package itself manages its own internals.
+    SKIP = ("repro.observe.telemetry",)
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        if not module.module.startswith(self.SCOPES):
+            return []
+        if module.module.startswith(self.SKIP):
+            return []
+        handles = _telemetry_handle_names(module.tree)
+        if not handles:
+            return []
+
+        def matcher(recv: ast.expr) -> str | None:
+            name = dotted_name(recv)
+            return name if name in handles else None
+
+        visitor = _GatingVisitor(
+            self,
+            module,
+            matcher=matcher,
+            message="call through telemetry handle `{receiver}` is not gated "
+            "by a None test (`if {receiver} is not None:`) — maybe*() "
+            "returns None when REPRO_SIM_TELEMETRY is off",
+        )
         visitor._visit_body(list(module.tree.body))
         return visitor.findings
 

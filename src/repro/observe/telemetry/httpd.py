@@ -1,0 +1,118 @@
+"""Tiny asyncio HTTP exposition endpoint for ``repro serve``.
+
+Serves exactly three read-only paths off the process-wide registry:
+
+* ``GET /metrics`` — Prometheus text exposition (v0.0.4);
+* ``GET /metrics.json`` — the registry snapshot as JSON;
+* ``GET /healthz`` — liveness probe (``ok``).
+
+Deliberately not a framework: one short-lived connection per request,
+no keep-alive, request line + headers capped at 8 KiB.  When telemetry
+is off the endpoint still answers (a scrape must not 404 just because
+the plane is disabled) but says so in a comment / flag instead of
+exposing stale numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.observe import telemetry
+
+__all__ = ["MetricsEndpoint"]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+def _response(status: str, content_type: str, body: str) -> bytes:
+    payload = body.encode()
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode() + payload
+
+
+class MetricsEndpoint:
+    """One ``asyncio`` HTTP listener bound next to the NDJSON server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets
+        if sockets:
+            self.port = int(sockets[0].getsockname()[1])
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def render(self, path: str) -> bytes:
+        """The HTTP response bytes for one request path."""
+        enabled = telemetry.telemetry_enabled()
+        if path == "/healthz":
+            return _response("200 OK", "text/plain; charset=utf-8", "ok\n")
+        if path == "/metrics":
+            if enabled:
+                body = telemetry.registry().render_prometheus()
+            else:
+                body = "# telemetry disabled (set REPRO_SIM_TELEMETRY=1)\n"
+            return _response(
+                "200 OK", "text/plain; version=0.0.4; charset=utf-8", body
+            )
+        if path == "/metrics.json":
+            if enabled:
+                payload = telemetry.registry().snapshot()
+                payload["enabled"] = True
+            else:
+                payload = {"enabled": False, "metrics": []}
+            return _response(
+                "200 OK",
+                "application/json; charset=utf-8",
+                json.dumps(payload, sort_keys=True) + "\n",
+            )
+        return _response("404 Not Found", "text/plain; charset=utf-8", "not found\n")
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await reader.readuntil(b"\r\n")
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                return
+            if len(request) > _MAX_REQUEST_BYTES:
+                writer.write(
+                    _response("431 Request Header Fields Too Large", "text/plain", "")
+                )
+                return
+            parts = request.decode("latin-1").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                writer.write(
+                    _response(
+                        "405 Method Not Allowed", "text/plain; charset=utf-8", ""
+                    )
+                )
+                return
+            writer.write(self.render(parts[1]))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -1,0 +1,103 @@
+"""Crash flight recorder: bounded per-shard rings of recent events.
+
+Every scheduler shard appends small structured events (submit, start,
+finish, retry, restart, …) to its own ring; nothing is written anywhere
+in the happy path.  When a worker crashes, times out, or a shard is
+quarantined, the scheduler calls :meth:`FlightRecorder.dump` and the
+ring — the last ``maxlen`` events leading up to the failure — lands as
+a JSON artifact next to the benchmark outputs (``REPRO_BENCH_OUT``
+aware via :func:`repro.common.output.resolve_output_path`).
+
+Event timestamps are wall-clock seconds: they order operator-facing
+evidence and never feed back into simulation state (SIM002 suppressions
+below).  Sequence numbers are process-wide so events from different
+shards interleave deterministically in a merged view.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from repro.common.output import resolve_output_path
+
+__all__ = ["DEFAULT_RING_EVENTS", "FlightRecorder", "RECORDER_SCHEMA"]
+
+#: Events retained per shard ring.
+DEFAULT_RING_EVENTS = 256
+
+#: Version of the dump artifact shape.
+RECORDER_SCHEMA = 1
+
+
+class FlightRecorder:
+    """Per-shard bounded event rings with crash-dump-to-JSON."""
+
+    def __init__(self, maxlen: int = DEFAULT_RING_EVENTS) -> None:
+        self._maxlen = maxlen
+        self._rings: dict[str, deque[dict[str, Any]]] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._dump_seq = 0
+        #: Paths of every artifact written this process, newest last.
+        self.dumps: list[Path] = []
+
+    def _ring(self, shard: str) -> deque[dict[str, Any]]:
+        ring = self._rings.get(shard)
+        if ring is None:
+            ring = self._rings.setdefault(shard, deque(maxlen=self._maxlen))
+        return ring
+
+    def record(self, shard: str, event: str, **fields: Any) -> None:
+        """Append one event to ``shard``'s ring (cheap, never raises)."""
+        with self._lock:
+            self._seq += 1
+            entry: dict[str, Any] = {
+                "seq": self._seq,
+                "ts": round(time.time(), 6),  # lint-ok: SIM002 operator-facing event timestamp
+                "shard": shard,
+                "event": event,
+            }
+            if fields:
+                entry.update(fields)
+            self._ring(shard).append(entry)
+
+    def events(self, shard: str | None = None) -> list[dict[str, Any]]:
+        """Current ring contents (one shard, or all shards merged by seq)."""
+        with self._lock:
+            if shard is not None:
+                return list(self._rings.get(shard, ()))
+            merged = [entry for ring in self._rings.values() for entry in ring]
+        return sorted(merged, key=lambda entry: int(entry["seq"]))
+
+    def dump(self, shard: str, reason: str) -> Path | None:
+        """Write ``shard``'s ring to a JSON artifact; None if ring empty.
+
+        Best-effort by design: a telemetry dump must never turn a worker
+        crash into a server crash, so filesystem errors are swallowed.
+        """
+        with self._lock:
+            events = list(self._rings.get(shard, ()))
+            self._dump_seq += 1
+            dump_seq = self._dump_seq
+        if not events:
+            return None
+        payload = {
+            "schema": RECORDER_SCHEMA,
+            "shard": shard,
+            "reason": reason,
+            "dumped_at": round(time.time(), 6),  # lint-ok: SIM002 artifact timestamp
+            "events": events,
+        }
+        name = f"flight-recorder-{shard}-{dump_seq:03d}.json"
+        try:
+            path = resolve_output_path(name)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        except OSError:
+            return None
+        self.dumps.append(path)
+        return path

@@ -1,0 +1,392 @@
+"""The typed metrics core: Counter / Gauge / Histogram families.
+
+One process-wide :class:`MetricsRegistry` (owned by
+:mod:`repro.observe.telemetry`) holds every metric family the service
+layers register.  A family is a named metric plus a fixed label schema;
+``family.labels(tier="disk")`` returns the child series for one label
+set, created on first use.  Children are plain slotted objects whose
+update methods are a single attribute mutation — cheap enough that the
+*gate* (the one pointer test at every instrumentation site) dominates,
+never the update.
+
+Two expositions, both deterministic (families sorted by name, children
+by label values, see SIM006):
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-safe dict (the ``telemetry``
+  field of the ``status`` protocol verb, ``/metrics.json``);
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format v0.0.4 (``repro serve --metrics-port``).
+
+Counter values are exact integers (the same contract StatBlock keeps,
+SIM005); gauges and histogram sums are floats.  Registration is
+thread-safe; child updates are single attribute writes and tolerate the
+benign races a metrics plane can afford.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "SNAPSHOT_SCHEMA",
+]
+
+#: Version of the :meth:`MetricsRegistry.snapshot` payload shape.
+SNAPSHOT_SCHEMA = 1
+
+#: Default histogram bucket upper bounds, tuned for job wall/queue
+#: seconds (the dominant histogram use); ``+Inf`` is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, in-flight jobs)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket distribution (cumulative counts at exposition time)."""
+
+    __slots__ = ("buckets", "counts", "total", "sum")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = buckets
+        #: Per-bucket (non-cumulative) observation counts; one extra slot
+        #: for observations above the last bound (the ``+Inf`` bucket).
+        self.counts = [0] * (len(buckets) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        slot = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = i
+                break
+        self.counts[slot] += 1
+        self.total += 1
+        self.sum += value
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), self.total))
+        return pairs
+
+
+class _Family:
+    """Shared family plumbing: a label schema and its child series."""
+
+    kind = ""
+
+    def __init__(self, name: str, help_text: str, label_names: tuple[str, ...]) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self._children: dict[tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self) -> Any:
+        raise NotImplementedError
+
+    def _label_values(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: labels {sorted(labels)} != schema "
+                f"{sorted(self.label_names)}"
+            )
+        return tuple(str(labels[key]) for key in self.label_names)
+
+    def _child(self, labels: dict[str, str]) -> Any:
+        values = self._label_values(labels)
+        child = self._children.get(values)
+        if child is None:
+            with self._lock:
+                child = self._children.get(values)
+                if child is None:
+                    child = self._children[values] = self._make_child()
+        return child
+
+    def series(self) -> list[tuple[dict[str, str], Any]]:
+        """Every child with its label dict, sorted by label values."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [
+            (dict(zip(self.label_names, values)), child) for values, child in items
+        ]
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter()
+
+    def labels(self, **labels: str) -> Counter:
+        child: Counter = self._child(labels)
+        return child
+
+    def inc(self, amount: int = 1, **labels: str) -> None:
+        self.labels(**labels).inc(amount)
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge()
+
+    def labels(self, **labels: str) -> Gauge:
+        child: Gauge = self._child(labels)
+        return child
+
+    def set(self, value: float, **labels: str) -> None:
+        self.labels(**labels).set(value)
+
+
+class HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...],
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        self.buckets = buckets
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.buckets)
+
+    def labels(self, **labels: str) -> Histogram:
+        child: Histogram = self._child(labels)
+        return child
+
+    def observe(self, value: float, **labels: str) -> None:
+        self.labels(**labels).observe(value)
+
+
+_NAME_OK = frozenset("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def _check_name(name: str) -> str:
+    if not name or set(name) - _NAME_OK or name[0].isdigit():
+        raise ValueError(f"invalid metric name {name!r} (want [a-z_][a-z0-9_]*)")
+    return name
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_bound(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    text = f"{bound:g}"
+    return text
+
+
+def _render_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(key, labels[key]) for key in labels] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(value)}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """Process-wide named metric families with deterministic exposition."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- registration -------------------------------------------------------
+
+    def _register(self, name: str, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if type(existing) is not type(family) or (
+                    existing.label_names != family.label_names
+                ):
+                    raise ValueError(
+                        f"metric {name!r} re-registered with a different "
+                        f"kind or label schema"
+                    )
+                return existing
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: tuple[str, ...] = ()
+    ) -> CounterFamily:
+        family = self._register(
+            _check_name(name), CounterFamily(name, help_text, tuple(labels))
+        )
+        assert isinstance(family, CounterFamily)
+        return family
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: tuple[str, ...] = ()
+    ) -> GaugeFamily:
+        family = self._register(
+            _check_name(name), GaugeFamily(name, help_text, tuple(labels))
+        )
+        assert isinstance(family, GaugeFamily)
+        return family
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> HistogramFamily:
+        family = self._register(
+            _check_name(name),
+            HistogramFamily(name, help_text, tuple(labels), tuple(buckets)),
+        )
+        assert isinstance(family, HistogramFamily)
+        return family
+
+    # -- reads --------------------------------------------------------------
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def value(self, name: str, **labels: str) -> float | int | None:
+        """One child's current value (counter/gauge), or None if absent.
+
+        A read-side convenience for ``repro cache stats`` and tests; it
+        never creates families or children.
+        """
+        with self._lock:
+            family = self._families.get(name)
+        if family is None or isinstance(family, HistogramFamily):
+            return None
+        try:
+            values = family._label_values(labels)
+        except ValueError:
+            return None
+        child = family._children.get(values)
+        if child is None:
+            return None
+        result: float | int = child.value
+        return result
+
+    def snapshot(self) -> dict[str, Any]:
+        """The whole registry as one JSON-safe dict (sorted, stable)."""
+        metrics: list[dict[str, Any]] = []
+        for family in self.families():
+            samples: list[dict[str, Any]] = []
+            for labels, child in family.series():
+                if isinstance(child, Histogram):
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "count": child.total,
+                            "sum": round(child.sum, 6),
+                            "buckets": {
+                                _format_bound(bound): count
+                                for bound, count in child.cumulative()
+                            },
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            metrics.append(
+                {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labels": list(family.label_names),
+                    "samples": samples,
+                }
+            )
+        return {"schema": SNAPSHOT_SCHEMA, "metrics": metrics}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, child in family.series():
+                if isinstance(child, Histogram):
+                    for bound, cumulative in child.cumulative():
+                        tag = _render_labels(
+                            labels, (("le", _format_bound(bound)),)
+                        )
+                        lines.append(f"{family.name}_bucket{tag} {cumulative}")
+                    tag = _render_labels(labels)
+                    lines.append(f"{family.name}_sum{tag} {child.sum:g}")
+                    lines.append(f"{family.name}_count{tag} {child.total}")
+                else:
+                    tag = _render_labels(labels)
+                    value = child.value
+                    rendered = f"{value:g}" if isinstance(value, float) else str(value)
+                    lines.append(f"{family.name}{tag} {rendered}")
+        return "\n".join(lines) + "\n"

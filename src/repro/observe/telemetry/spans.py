@@ -1,0 +1,272 @@
+"""Span-based job tracing with cross-process context propagation.
+
+A *trace* is one logical request (``repro serve`` run verb, one CLI
+invocation); a *span* is one timed operation inside it.  The chain for
+a served job is::
+
+    client.run -> serve.request -> sched.job -> worker.job -> runner.simulate
+
+The first three live in the client/server processes; the last two run
+inside a worker process and come back through the job-entry return
+value as plain dicts (:meth:`Span.to_dict` / :meth:`SpanSink.record`),
+so no telemetry object ever crosses a pickle boundary.
+
+Context propagation is by value: :meth:`SpanContext.as_wire` is a tiny
+``{"trace_id", "span_id"}`` dict carried in the NDJSON ``run`` message
+(protocol v2) and in the worker submit call.  IDs come from
+``os.urandom`` — never ``random`` (SIM001): trace identity must not
+perturb nor depend on simulation seeding.
+
+:func:`spans_to_perfetto` renders finished spans in the same Chrome
+trace-event JSON dialect as :class:`repro.observe.sinks.PerfettoSink`,
+one synthetic thread per service layer, so a single job's tree is
+load-and-click visible in the Perfetto UI.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "SpanSink",
+    "new_span_id",
+    "new_trace_id",
+    "span_tree",
+    "spans_to_perfetto",
+]
+
+#: Synthetic Perfetto "thread" per service layer (span name prefix).
+LAYER_TIDS: dict[str, int] = {
+    "client": 1,
+    "serve": 2,
+    "sched": 3,
+    "worker": 4,
+    "runner": 5,
+    "cache": 6,
+    "kernel": 7,
+}
+_OTHER_TID = 8
+
+#: Ring size for finished spans held in memory per process.
+DEFAULT_MAX_SPANS = 4096
+
+
+def new_trace_id() -> str:
+    """A 16-byte random hex trace id (os.urandom; see SIM001)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """An 8-byte random hex span id."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated identity of one span: what children point at."""
+
+    trace_id: str
+    span_id: str
+
+    def as_wire(self) -> dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any] | None) -> SpanContext | None:
+        if not isinstance(wire, dict):
+            return None
+        trace_id = wire.get("trace_id")
+        span_id = wire.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        if not trace_id or not span_id:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+@dataclass
+class Span:
+    """One timed operation; finished spans are immutable by convention."""
+
+    name: str
+    context: SpanContext
+    parent_id: str | None
+    start: float
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self.context.span_id
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON/pickle-safe form (what workers send back to shards)."""
+        return {
+            "name": self.name,
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Span | None:
+        name = data.get("name")
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if (
+            not isinstance(name, str)
+            or not isinstance(trace_id, str)
+            or not isinstance(span_id, str)
+        ):
+            return None
+        parent = data.get("parent_id")
+        start = data.get("start")
+        end = data.get("end")
+        attrs = data.get("attrs")
+        return cls(
+            name=name,
+            context=SpanContext(trace_id=trace_id, span_id=span_id),
+            parent_id=parent if isinstance(parent, str) else None,
+            start=float(start) if isinstance(start, (int, float)) else 0.0,
+            end=float(end) if isinstance(end, (int, float)) else None,
+            attrs=dict(attrs) if isinstance(attrs, dict) else {},
+        )
+
+
+class SpanSink:
+    """Bounded in-memory store of finished spans for one process."""
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+
+    def start_span(
+        self,
+        name: str,
+        parent: SpanContext | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> Span:
+        """Open a span now; call :meth:`finish` to seal and keep it."""
+        context = SpanContext(
+            trace_id=parent.trace_id if parent is not None else new_trace_id(),
+            span_id=new_span_id(),
+        )
+        return Span(
+            name=name,
+            context=context,
+            parent_id=parent.span_id if parent is not None else None,
+            start=time.time(),  # lint-ok: SIM002 span timestamps are telemetry, not sim state
+            attrs=dict(attrs) if attrs else {},
+        )
+
+    def finish(self, span: Span, **attrs: Any) -> Span:
+        """Stamp the end time, merge attrs, and retain the span."""
+        if span.end is None:
+            span.end = time.time()  # lint-ok: SIM002 span timestamps are telemetry, not sim state
+        if attrs:
+            span.attrs.update(attrs)
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def record(self, data: dict[str, Any]) -> Span | None:
+        """Ingest a finished span shipped from another process as a dict."""
+        span = Span.from_dict(data)
+        if span is not None:
+            with self._lock:
+                self._spans.append(span)
+        return span
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def for_trace(self, trace_id: str) -> list[Span]:
+        return [span for span in self.spans() if span.trace_id == trace_id]
+
+    def drain(self) -> list[Span]:
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+def span_tree(spans: list[Span]) -> dict[str | None, list[Span]]:
+    """Children grouped by parent span id (``None`` bucket = roots).
+
+    Input order is preserved within each bucket; used by tests to check
+    a served job produced one *connected* tree per trace.
+    """
+    tree: dict[str | None, list[Span]] = {}
+    ids = {span.span_id for span in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        tree.setdefault(parent, []).append(span)
+    return tree
+
+
+def _layer_tid(name: str) -> int:
+    layer = name.split(".", 1)[0]
+    return LAYER_TIDS.get(layer, _OTHER_TID)
+
+
+def spans_to_perfetto(spans: list[Span]) -> dict[str, Any]:
+    """Finished spans as Chrome trace-event JSON (Perfetto-compatible).
+
+    Mirrors the PR 4 PerfettoSink dialect: ``ph:"M"`` thread-name
+    metadata per service layer, then one ``ph:"X"`` complete slice per
+    span with the trace identity in ``args``.  Timestamps are rebased to
+    the earliest span start so the UI opens at t=0.
+    """
+    finished = [span for span in spans if span.end is not None]
+    events: list[dict[str, Any]] = []
+    layers = sorted({span.name.split(".", 1)[0] for span in finished})
+    for layer in layers:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": LAYER_TIDS.get(layer, _OTHER_TID),
+                "args": {"name": layer},
+            }
+        )
+    base = min((span.start for span in finished), default=0.0)
+    for span in finished:
+        end = span.end
+        assert end is not None
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": 0,
+                "tid": _layer_tid(span.name),
+                "ts": round((span.start - base) * 1e6, 3),
+                "dur": round(max(end - span.start, 0.0) * 1e6, 3),
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **span.attrs,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.observe import telemetry
 from repro.serve.protocol import decode_line, encode_message
 
 __all__ = ["RunReply", "ServeClient", "ServeRequestError"]
@@ -123,6 +124,11 @@ class ServeClient:
         Per-job failures land in ``reply.errors`` (the rest of the matrix
         still completes); request-scoped failures raise
         :class:`ServeRequestError`.
+
+        With ``REPRO_SIM_TELEMETRY`` on, the request opens a
+        ``client.run`` root span and propagates its context in the
+        protocol ``trace`` field, so the served job is traceable
+        client → server → shard → worker as one connected span tree.
         """
         rid = request_id if request_id is not None else f"r{next(self._ids)}"
         matrix: dict[str, Any] = {"workloads": list(workloads)}
@@ -139,6 +145,16 @@ class ServeClient:
         }
         if timeout is not None:
             message["timeout"] = timeout
+        sink = telemetry.maybe_spans()
+        root_span = (
+            sink.start_span(
+                "client.run", attrs={"id": rid, "workloads": list(workloads)}
+            )
+            if sink is not None
+            else None
+        )
+        if root_span is not None:
+            message["trace"] = root_span.context.as_wire()
         queue: asyncio.Queue[dict[str, Any] | None] = asyncio.Queue()
         self._pending[rid] = queue
         reply = RunReply(request_id=rid)
@@ -173,6 +189,12 @@ class ServeClient:
                     reply.done = received
                     return reply
         finally:
+            if root_span is not None and sink is not None:
+                sink.finish(
+                    root_span,
+                    results=len(reply.results),
+                    errors=len(reply.errors),
+                )
             self._pending.pop(rid, None)
 
     async def cancel(self, request_id: str) -> None:

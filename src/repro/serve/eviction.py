@@ -228,6 +228,25 @@ def prune(
         total_bytes -= entry.size
         total_entries -= 1
 
+    if not dry_run:
+        from repro.observe import telemetry
+
+        tel = telemetry.maybe()
+        if tel is not None:
+            tel.counter(
+                "repro_cache_prune_passes_total",
+                "Eviction passes executed over the disk cache.",
+            ).inc()
+            if removed:
+                tel.counter(
+                    "repro_cache_evictions_total",
+                    "Disk-cache entries evicted by the LRU bounds.",
+                ).inc(len(removed))
+                tel.counter(
+                    "repro_cache_evicted_bytes_total",
+                    "Bytes reclaimed by disk-cache eviction.",
+                ).inc(freed)
+
     return PruneReport(
         scanned=len(entries),
         removed=tuple(removed),

@@ -34,6 +34,7 @@ from typing import Any
 from repro.analysis.parallel import SimJob
 from repro.core.configs import config_from_spec
 from repro.core.pipeline import SimResult
+from repro.observe.telemetry import SpanContext
 from repro.workloads import SUITE, is_ingested
 
 __all__ = [
@@ -50,7 +51,12 @@ __all__ = [
 ]
 
 #: Wire protocol version, echoed in ``accepted`` and ``status`` messages.
-PROTOCOL_VERSION = 1
+#: v2: ``run`` accepts an optional ``trace`` field (``{"trace_id",
+#: "span_id"}``) propagating the client's span context through the
+#: scheduler and workers, and ``status`` replies carry a ``telemetry``
+#: snapshot when ``REPRO_SIM_TELEMETRY`` is on.  Both are additive:
+#: v1 clients interoperate unchanged.
+PROTOCOL_VERSION = 2
 
 #: Hard cap on one NDJSON line (requests are small; results are summaries).
 MAX_LINE_BYTES = 1 << 20
@@ -183,11 +189,20 @@ class RunRequest:
     priority: int = 0
     timeout: float | None = None
     stream: bool = False
+    trace: SpanContext | None = None
 
 
 def parse_run_request(message: dict[str, Any]) -> RunRequest:
     """Validate a ``run`` message; raises :class:`ServeError` on misuse."""
-    unknown = set(message) - {"type", "id", "matrix", "priority", "timeout", "stream"}
+    unknown = set(message) - {
+        "type",
+        "id",
+        "matrix",
+        "priority",
+        "timeout",
+        "stream",
+        "trace",
+    }
     if unknown:
         raise ServeError(
             "bad-request", f"unknown run field(s): {', '.join(sorted(unknown))}"
@@ -207,6 +222,15 @@ def parse_run_request(message: dict[str, Any]) -> RunRequest:
     stream = message.get("stream", False)
     if not isinstance(stream, bool):
         raise ServeError("bad-request", "run.stream must be a boolean")
+    trace_wire = message.get("trace")
+    trace: SpanContext | None = None
+    if trace_wire is not None:
+        trace = SpanContext.from_wire(trace_wire)
+        if trace is None:
+            raise ServeError(
+                "bad-request",
+                "run.trace must be {trace_id, span_id} (non-empty strings)",
+            )
     jobs = expand_matrix(message.get("matrix"))
     return RunRequest(
         id=request_id,
@@ -214,6 +238,7 @@ def parse_run_request(message: dict[str, Any]) -> RunRequest:
         priority=priority,
         timeout=None if timeout is None else float(timeout),
         stream=stream,
+        trace=trace,
     )
 
 

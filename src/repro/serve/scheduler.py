@@ -58,7 +58,10 @@ from repro.analysis.parallel import (
 )
 from repro.common.stats import StatBlock
 from repro.core.configs import SimConfig
+from repro.core.kernel import KernelSimulator, kernel_enabled
 from repro.core.pipeline import SimResult, Simulator
+from repro.observe import telemetry
+from repro.observe.telemetry import Span, SpanContext, SpanSink
 from repro.serve import eviction
 from repro.serve.protocol import ServeError
 from repro.workloads.suite import load_workload
@@ -82,8 +85,11 @@ def _default_shards() -> int:
 
 
 def _default_job_entry(
-    workload: str, config: SimConfig, n_instructions: int
-) -> tuple[SimResult, float, dict[str, Any] | None]:
+    workload: str,
+    config: SimConfig,
+    n_instructions: int,
+    trace_wire: dict[str, Any] | None = None,
+) -> tuple[SimResult, float, dict[str, Any] | None, list[dict[str, Any]]]:
     """Worker-side job body: simulate (observing) and persist to disk.
 
     Mirrors ``repro.analysis.parallel._execute_job`` — same cache key,
@@ -91,19 +97,53 @@ def _default_job_entry(
     runs — but runs the simulator with the observer on so the stall
     taxonomy can be streamed back.  Observation is bit-identical to the
     unobserved run, so the cached entry is too.
+
+    ``trace_wire`` is the scheduler span's :meth:`SpanContext.as_wire`
+    dict.  With ``REPRO_SIM_TELEMETRY`` on (workers inherit the env) the
+    worker opens ``worker.job`` / ``runner.simulate`` child spans and
+    ships them back as plain dicts in the fourth tuple slot — telemetry
+    objects never cross the pickle boundary, and the spans are built in
+    a job-local sink so thread-mode shards cannot double-record.
     """
     start = time.perf_counter()  # lint-ok: SIM002 worker timing telemetry, never touches results
+    sink: SpanSink | None = None
+    job_span: Span | None = None
+    if telemetry.telemetry_enabled():
+        sink = SpanSink()
+    if sink is not None:
+        job_span = sink.start_span(
+            "worker.job",
+            parent=SpanContext.from_wire(trace_wire),
+            attrs={"workload": workload, "pid": os.getpid()},
+        )
     key = _runner.cache_key(workload, n_instructions, config)
     result = _runner._load_disk(key)
     taxonomy: dict[str, Any] | None = None
+    source = "disk"
     if result is None:
+        source = "simulated"
+        sim_span = (
+            sink.start_span("runner.simulate", parent=job_span.context)
+            if sink is not None and job_span is not None
+            else None
+        )
         spec = load_workload(workload, n_instructions)
-        sim = Simulator(spec.trace, config, name=workload, observe=True)
+        # Same engine selection as the CLI: the replay kernel when enabled
+        # (it falls back to the interpreter itself while an observer is
+        # armed, recording the fallback counter), the interpreter otherwise.
+        sim_cls = KernelSimulator if kernel_enabled() else Simulator
+        sim = sim_cls(spec.trace, config, name=workload, observe=True)
         result = sim.run()
         if sim.observer is not None:
             taxonomy = sim.observer.taxonomy.as_dict()
         _runner._store_disk(key, result)
-    return result, time.perf_counter() - start, taxonomy  # lint-ok: SIM002 timing telemetry
+        if sink is not None and sim_span is not None:
+            sink.finish(sim_span, instructions=result.instructions)
+    spans: list[dict[str, Any]] = []
+    if sink is not None and job_span is not None:
+        sink.finish(job_span, source=source)
+        spans = [span.to_dict() for span in sink.drain()]
+    return result, time.perf_counter() - start, taxonomy, spans  # lint-ok: SIM002 timing telemetry
 
 
 #: The active worker job body.  Fault-injection tests repoint this;
@@ -112,10 +152,22 @@ _JOB_ENTRY = _default_job_entry
 
 
 def _run_job_entry(
-    workload: str, config: SimConfig, n_instructions: int
-) -> tuple[SimResult, float, dict[str, Any] | None]:
-    """Picklable trampoline: resolves :data:`_JOB_ENTRY` in the worker."""
-    return _JOB_ENTRY(workload, config, n_instructions)
+    workload: str,
+    config: SimConfig,
+    n_instructions: int,
+    trace_wire: dict[str, Any] | None = None,
+) -> tuple[Any, ...]:
+    """Picklable trampoline: resolves :data:`_JOB_ENTRY` in the worker.
+
+    Patched entries (fault injectors, test doubles) keep the historical
+    3-argument contract and return a 3-tuple; only the default entry
+    receives the trace context and appends the span slot.  The caller
+    unpacks both shapes.
+    """
+    entry = _JOB_ENTRY
+    if entry is _default_job_entry:
+        return entry(workload, config, n_instructions, trace_wire)
+    return entry(workload, config, n_instructions)
 
 
 def _terminate_pool(pool: Executor) -> None:
@@ -169,6 +221,13 @@ class Flight:
         self.subscribers: list[Callable[[dict[str, Any]], None]] = []
         #: The dispatcher's work task while running (cancellation handle).
         self._work: asyncio.Task[Any] | None = None
+        #: Telemetry (populated only when REPRO_SIM_TELEMETRY is on):
+        #: the request's propagated trace context, this flight's
+        #: ``sched.job`` span, and the enqueue timestamp for the
+        #: queue-wait histogram.
+        self.trace: SpanContext | None = None
+        self.span: Span | None = None
+        self.queued_at: float | None = None
 
     def emit(self, event: dict[str, Any]) -> None:
         for callback in list(self.subscribers):
@@ -219,9 +278,11 @@ class WorkerShard:
                 )
         return self._pool
 
-    def submit(self, job: SimJob) -> Future[tuple[SimResult, float, dict[str, Any] | None]]:
+    def submit(
+        self, job: SimJob, trace_wire: dict[str, Any] | None = None
+    ) -> Future[tuple[Any, ...]]:
         return self.pool().submit(
-            _run_job_entry, job.workload, job.config, job.n_instructions
+            _run_job_entry, job.workload, job.config, job.n_instructions, trace_wire
         )
 
     def restart(self) -> None:
@@ -327,19 +388,53 @@ class Scheduler:
     def shard_for(self, key: str) -> WorkerShard:
         return self.shards[int(key, 16) % len(self.shards)]
 
+    # -- telemetry seams (each call site pays one pointer test) -------------
+
+    def _count_job(self, outcome: str) -> None:
+        tel = telemetry.maybe()
+        if tel is not None:
+            tel.counter(
+                "repro_sched_jobs_total",
+                "Scheduler job outcomes (process lifetime).",
+                labels=("outcome",),
+            ).inc(outcome=outcome)
+
+    def _record_event(self, shard_name: str, event: str, **fields: Any) -> None:
+        rec = telemetry.maybe_recorder()
+        if rec is not None:
+            rec.record(shard_name, event, **fields)
+
+    def _set_queue_gauge(self, shard: WorkerShard) -> None:
+        tel = telemetry.maybe()
+        if tel is not None:
+            tel.gauge(
+                "repro_sched_queue_depth",
+                "Flights queued per shard (lazy heap entries included).",
+                labels=("shard",),
+            ).set(len(shard.heap), shard=str(shard.index))
+
     def submit(
-        self, job: SimJob, *, priority: int = 0, timeout: float | None = None
+        self,
+        job: SimJob,
+        *,
+        priority: int = 0,
+        timeout: float | None = None,
+        trace: SpanContext | None = None,
     ) -> Flight:
         """Resolve-or-enqueue one job; returns its (possibly shared) flight.
 
-        Raises :class:`ServeError` (``quarantined`` / ``cache-corrupt``)
-        instead of enqueueing when the key is known-bad or the cache tier
-        itself fails.
+        ``trace`` is the requesting span's context (from the protocol's
+        ``trace`` field); a new flight opens a child ``sched.job`` span
+        under it when telemetry is on.  Raises :class:`ServeError`
+        (``quarantined`` / ``cache-corrupt``) instead of enqueueing when
+        the key is known-bad or the cache tier itself fails.
         """
         self.counters.add("jobs_requested")
+        self._count_job("requested")
         quarantined = self._quarantine.get(job.key)
         if quarantined is not None:
             self.counters.add("jobs_quarantined")
+            self._count_job("quarantined_reject")
             raise ServeError(
                 "quarantined", f"{job.describe()} is quarantined: {quarantined}"
             )
@@ -353,12 +448,21 @@ class Scheduler:
                 flight.priority = priority
                 if flight.state == _QUEUED:
                     self._enqueue(flight)
+                tel = telemetry.maybe()
+                if tel is not None:
+                    tel.counter(
+                        "repro_sched_escalations_total",
+                        "Queued flights whose priority was raised by a "
+                        "later request.",
+                    ).inc()
             self.counters.add("jobs_coalesced")
+            self._count_job("coalesced")
             return flight
 
         cached, source = self._probe_cache(job)
         if cached is not None:
             self.counters.add(f"jobs_from_{source}")
+            self._count_job(f"from_{source}")
             flight = Flight(job, priority, timeout)
             flight.state = _DONE
             flight.future.set_result(
@@ -375,6 +479,27 @@ class Scheduler:
         flight = Flight(
             job, priority, timeout if timeout is not None else self.config.job_timeout
         )
+        flight.trace = trace
+        sink = telemetry.maybe_spans()
+        if sink is not None:
+            shard = self.shard_for(job.key)
+            flight.span = sink.start_span(
+                "sched.job",
+                parent=trace,
+                attrs={
+                    "workload": job.workload,
+                    "key": job.key,
+                    "shard": shard.index,
+                },
+            )
+            flight.queued_at = time.monotonic()  # lint-ok: SIM002 queue-wait telemetry
+            self._record_event(
+                f"shard-{shard.index}",
+                "job-submitted",
+                key=job.key,
+                workload=job.workload,
+                priority=priority,
+            )
         self._flights[job.key] = flight
         eviction.protect(job.key)
         self._enqueue(flight)
@@ -442,6 +567,7 @@ class Scheduler:
         heapq.heappush(
             shard.heap, (-flight.priority, next(self._seq), flight.key)
         )
+        self._set_queue_gauge(shard)
         shard.wake.set()
 
     def _finish(
@@ -457,6 +583,15 @@ class Scheduler:
         if self._flights.get(flight.key) is flight:
             del self._flights[flight.key]
         eviction.unprotect(flight.key)
+        if flight.span is not None:
+            sink = telemetry.maybe_spans()
+            if sink is not None:
+                sink.finish(
+                    flight.span,
+                    outcome="error" if error is not None else "ok",
+                    code=None if error is None else error.code,
+                )
+            flight.span = None
         if not flight.future.done():
             if error is not None:
                 if error.code == "cancelled":
@@ -476,10 +611,24 @@ class Scheduler:
             shard.wake.clear()
             while shard.heap:
                 _, _, key = heapq.heappop(shard.heap)
+                self._set_queue_gauge(shard)
                 flight = self._flights.get(key)
                 if flight is None or flight.done or flight.state != _QUEUED:
                     continue  # cancelled, resolved, or an escalated duplicate
                 flight.state = _RUNNING
+                tel = telemetry.maybe()
+                if tel is not None and flight.queued_at is not None:
+                    tel.histogram(
+                        "repro_sched_queue_wait_seconds",
+                        "Seconds a flight waited in its shard queue before "
+                        "dispatch.",
+                    ).observe(time.monotonic() - flight.queued_at)  # lint-ok: SIM002 queue-wait telemetry
+                self._record_event(
+                    f"shard-{shard.index}",
+                    "job-started",
+                    key=flight.key,
+                    workload=flight.job.workload,
+                )
                 flight.emit(
                     {
                         "event": "job-started",
@@ -498,6 +647,10 @@ class Scheduler:
                     # may still be crunching — kill it so the shard is
                     # immediately schedulable again.
                     shard.restart()
+                    self._count_job("cancelled")
+                    self._record_event(
+                        f"shard-{shard.index}", "job-cancelled", key=flight.key
+                    )
                     self._finish(
                         flight,
                         error=ServeError(
@@ -506,27 +659,59 @@ class Scheduler:
                     )
                 except ServeError as error:
                     self.counters.add("jobs_failed")
+                    self._count_job("failed")
+                    self._record_event(
+                        f"shard-{shard.index}",
+                        "job-failed",
+                        key=flight.key,
+                        code=error.code,
+                        detail=str(error),
+                    )
                     self._finish(flight, error=error)
                 else:
                     self.counters.add("jobs_simulated")
+                    self._count_job("simulated")
+                    tel = telemetry.maybe()
+                    if tel is not None:
+                        tel.histogram(
+                            "repro_sched_job_seconds",
+                            "Worker wall seconds per simulated flight.",
+                        ).observe(outcome.seconds)
+                    self._record_event(
+                        f"shard-{shard.index}",
+                        "job-finished",
+                        key=flight.key,
+                        workload=flight.job.workload,
+                        seconds=round(outcome.seconds, 6),
+                    )
                     self._finish(flight, outcome)
 
     async def _run_flight(self, shard: WorkerShard, flight: Flight) -> FlightResult:
         """Execute one flight on its shard: timeout, retry, quarantine."""
         job = flight.job
         timeout = flight.timeout
+        shard_name = f"shard-{shard.index}"
+        trace_wire = (
+            flight.span.context.as_wire() if flight.span is not None else None
+        )
         attempt = 0
         while True:
-            pool_future = shard.submit(job)
+            pool_future = shard.submit(job, trace_wire)
             self.counters.add("pool_dispatches")
             try:
-                result, seconds, taxonomy = await asyncio.wait_for(
+                payload = await asyncio.wait_for(
                     asyncio.wrap_future(pool_future), timeout
                 )
+                # Patched 3-tuple entries carry no span slot (see
+                # _run_job_entry); tolerate both shapes.
+                result, seconds, taxonomy = payload[0], payload[1], payload[2]
+                worker_spans = payload[3] if len(payload) > 3 else []
             except asyncio.TimeoutError:
                 pool_future.cancel()
                 shard.restart()  # the worker is presumed wedged
                 self.counters.add("jobs_timed_out")
+                self._count_job("timed_out")
+                self._note_restart(shard, "timeout", job)
                 raise ServeError(
                     "timeout",
                     f"{job.describe()} exceeded the "
@@ -539,12 +724,21 @@ class Scheduler:
                     reason = f"worker died ({type(error).__name__})"
                     self._quarantine[job.key] = reason
                     self.counters.add("jobs_crashed")
+                    self._count_job("crashed")
+                    self._record_event(
+                        shard_name, "job-quarantined", key=job.key, reason=reason
+                    )
+                    self._note_restart(shard, "worker-crash", job)
                     raise ServeError(
                         "worker-crash",
                         f"{job.describe()}: {reason} after "
                         f"{attempt} attempt(s); key quarantined",
                     ) from error
                 self.counters.add("worker_retries")
+                self._count_job("retried")
+                self._record_event(
+                    shard_name, "job-retry", key=job.key, attempt=attempt
+                )
                 await asyncio.sleep(self.config.backoff * (2 ** (attempt - 1)))
             except ServeError:
                 raise
@@ -555,6 +749,10 @@ class Scheduler:
                 ) from error
             else:
                 _runner._memory_cache[job.key] = result
+                sink = telemetry.maybe_spans()
+                if sink is not None:
+                    for span_dict in worker_spans:
+                        sink.record(span_dict)
                 return FlightResult(
                     result=result,
                     cached=False,
@@ -562,3 +760,25 @@ class Scheduler:
                     seconds=seconds,
                     taxonomy=taxonomy,
                 )
+
+    def _note_restart(self, shard: WorkerShard, reason: str, job: SimJob) -> None:
+        """Shard-restart telemetry: labeled counter, ring event, crash dump.
+
+        Called *after* the restart on the crash/timeout paths — exactly
+        the moments the flight recorder exists for, so the shard's ring
+        (ending with this job's final events) is dumped to an artifact.
+        """
+        tel = telemetry.maybe()
+        if tel is not None:
+            tel.counter(
+                "repro_sched_restarts_total",
+                "Worker-shard restarts by shard and reason.",
+                labels=("shard", "reason"),
+            ).inc(shard=str(shard.index), reason=reason)
+        shard_name = f"shard-{shard.index}"
+        self._record_event(
+            shard_name, "shard-restart", reason=reason, key=job.key
+        )
+        rec = telemetry.maybe_recorder()
+        if rec is not None:
+            rec.dump(shard_name, reason)

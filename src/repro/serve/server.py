@@ -26,6 +26,8 @@ from typing import Any
 from repro.analysis import runner as _runner
 from repro.analysis.parallel import SimJob
 from repro.observe import stream as _stream
+from repro.observe import telemetry
+from repro.observe.telemetry.httpd import MetricsEndpoint
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -82,6 +84,11 @@ class ExperimentServer:
     max_pending:
         Refuse new ``run`` requests (``overloaded``) while this many
         flights are already queued.
+    metrics_port:
+        When not None, also bind a telemetry HTTP endpoint (``/metrics``
+        Prometheus text, ``/metrics.json``, ``/healthz``) on this port
+        (0 picks a free one; read it back from :attr:`metrics_port`
+        after :meth:`start`).
     """
 
     def __init__(
@@ -94,6 +101,7 @@ class ExperimentServer:
         mode: str = "process",
         job_timeout: float | None = None,
         max_pending: int | None = None,
+        metrics_port: int | None = None,
         log: Callable[[str], None] = print,
     ) -> None:
         self.host = host
@@ -102,8 +110,10 @@ class ExperimentServer:
             shards, mode=mode, job_timeout=job_timeout
         )
         self.max_pending = resolve_max_pending(max_pending)
+        self.metrics_port = metrics_port
         self.log = log
         self._server: asyncio.AbstractServer | None = None
+        self._metrics: MetricsEndpoint | None = None
         self._connections: dict[_Connection, asyncio.Task[None]] = {}
 
     # -- lifecycle ----------------------------------------------------------
@@ -118,6 +128,11 @@ class ExperimentServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self.log(f"serving on {self.host}:{self.port}")
+        if self.metrics_port is not None:
+            self._metrics = MetricsEndpoint(self.host, self.metrics_port)
+            await self._metrics.start()
+            self.metrics_port = self._metrics.port
+            self.log(f"metrics on http://{self.host}:{self.metrics_port}/metrics")
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -127,6 +142,9 @@ class ExperimentServer:
             await self._server.serve_forever()
 
     async def close(self) -> None:
+        if self._metrics is not None:
+            await self._metrics.close()
+            self._metrics = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -191,6 +209,13 @@ class ExperimentServer:
         kind = message.get("type")
         request_id = message.get("id")
         rid = request_id if isinstance(request_id, str) else None
+        tel = telemetry.maybe()
+        if tel is not None:
+            tel.counter(
+                "repro_serve_requests_total",
+                "Protocol messages received, by verb.",
+                labels=("verb",),
+            ).inc(verb=kind if isinstance(kind, str) else "invalid")
         if kind == "ping":
             await self._send(conn, {"type": "pong", "protocol": PROTOCOL_VERSION})
         elif kind == "status":
@@ -236,12 +261,16 @@ class ExperimentServer:
             )
 
     def _status_message(self) -> dict[str, Any]:
+        tel = telemetry.maybe()
         return {
             "type": "status",
             "protocol": PROTOCOL_VERSION,
             "scheduler": self.scheduler.stats(),
             "cache": _runner.cache_stats(),
             "max_pending": self.max_pending,
+            # None when REPRO_SIM_TELEMETRY is off; else the full metrics
+            # registry snapshot (what `repro top` renders).
+            "telemetry": None if tel is None else tel.snapshot(),
         }
 
     # -- request handling ---------------------------------------------------
@@ -249,6 +278,16 @@ class ExperimentServer:
     async def _handle_run(self, conn: _Connection, request: RunRequest) -> None:
         flights: list[tuple[SimJob, Flight]] = []
         subscriptions: list[tuple[Flight, Any]] = []
+        sink = telemetry.maybe_spans()
+        request_span = (
+            sink.start_span(
+                "serve.request",
+                parent=request.trace,
+                attrs={"id": request.id, "jobs": len(request.jobs)},
+            )
+            if sink is not None
+            else None
+        )
         try:
             queued = sum(len(shard.heap) for shard in self.scheduler.shards)
             if queued >= self.max_pending:
@@ -258,7 +297,10 @@ class ExperimentServer:
                 )
             for job in request.jobs:
                 flight = self.scheduler.submit(
-                    job, priority=request.priority, timeout=request.timeout
+                    job,
+                    priority=request.priority,
+                    timeout=request.timeout,
+                    trace=None if request_span is None else request_span.context,
                 )
                 flights.append((job, flight))
             await self._send(
@@ -305,6 +347,8 @@ class ExperimentServer:
         except (ConnectionError, OSError):
             pass  # the client is gone; the finally block cleans up
         finally:
+            if request_span is not None and sink is not None:
+                sink.finish(request_span)
             for flight, callback in subscriptions:
                 try:
                     flight.subscribers.remove(callback)

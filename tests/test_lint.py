@@ -42,8 +42,8 @@ def rules_fired(report):
 
 
 class TestCatalog:
-    def test_all_seven_rules_registered(self):
-        assert sorted(RULES) == [f"SIM00{i}" for i in range(1, 8)]
+    def test_all_eight_rules_registered(self):
+        assert sorted(RULES) == [f"SIM00{i}" for i in range(1, 9)]
 
     def test_rule_codes_match_convention(self):
         for code, rule in RULES.items():
@@ -666,11 +666,12 @@ class TestSelfCheck:
     def test_known_suppressions_are_the_telemetry_sites(self):
         report = LintEngine().lint_paths([REPO / "src"])
         # Wall-clock telemetry + timeout-deadline bookkeeping in
-        # parallel.py (7), worker timing in serve/scheduler.py (2), the
-        # eviction grace-window clock in serve/eviction.py (1), and the
+        # parallel.py (7), worker/queue timing in serve/scheduler.py (4),
+        # the eviction grace-window clock in serve/eviction.py (1), the
         # kernel-vs-interpreter speedup telemetry in verify/kernel_diff.py
-        # (3).
-        assert report.suppressed == 13
+        # (3), and the span/flight-recorder timestamps in
+        # observe/telemetry (4).
+        assert report.suppressed == 19
 
     def test_finding_ordering_is_total(self):
         a = Finding("a.py", 1, 1, "SIM001", "x")

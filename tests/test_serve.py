@@ -471,6 +471,6 @@ class TestControlPlane:
             return pong, status
 
         pong, status = run_async(_with_server(body))
-        assert pong["type"] == "pong" and pong["protocol"] == 1
+        assert pong["type"] == "pong" and pong["protocol"] == 2
         assert status["scheduler"]["mode"] == "thread"
         assert status["cache"]["cache_version"] == runner.CACHE_VERSION
