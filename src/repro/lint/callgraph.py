@@ -1,0 +1,576 @@
+"""Project-wide call graph over parsed :class:`SourceModule`s.
+
+The interprocedural layer's substrate: every module-level function,
+every method (class-scoped), and one synthetic ``<module>`` node per
+module for import-time code, connected by *resolved* call edges.  Name
+resolution is static and deliberately conservative:
+
+* bare names resolve through the module's import bindings and its own
+  top-level ``def``s;
+* dotted names resolve through ``import x as y`` / ``from m import n``
+  bindings into other modules in the run set;
+* ``self.meth()`` resolves through the enclosing class and its
+  statically known bases; ``self.attr.meth()`` resolves when ``attr`` is
+  assigned (or annotated) with a project class anywhere in the class;
+* locals and parameters typed by annotation or constructor assignment
+  (``shard: WorkerShard``, ``sim = Simulator(...)``) resolve their
+  method calls;
+* everything else — dynamic dispatch through values the analysis cannot
+  type, calls on call results, callables passed as arguments — produces
+  **no** edge.  Unknown targets are assumed effect-free: the analysis
+  under-approximates reachability rather than drowning the rules in
+  false positives.  (Functions passed *by reference* — executor hops,
+  callbacks — are likewise not edges, which is exactly what makes
+  ``asyncio.to_thread(blocking_fn)`` the sanctioned escape hatch for
+  SIM009.)
+
+Nested ``def``s and lambdas are attributed to their enclosing named
+function: defining a closure is treated as calling it, which
+over-approximates effects in the safe direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.rules import dotted_name
+from repro.lint.source import SourceModule
+
+__all__ = [
+    "CALLGRAPH_SCHEMA",
+    "MODULE_BODY",
+    "CallEdge",
+    "CallGraph",
+    "ClassInfo",
+    "FunctionNode",
+    "build_callgraph",
+]
+
+#: Schema version of the ``--callgraph-out`` JSON artifact.
+CALLGRAPH_SCHEMA = 1
+
+#: Synthetic function name for a module's import-time body.
+MODULE_BODY = "<module>"
+
+
+@dataclass(eq=False)
+class FunctionNode:
+    """One analyzable function: a def, a method, or a module body."""
+
+    qname: str
+    module: str
+    name: str
+    cls: str | None
+    lineno: int
+    is_async: bool
+    #: AST whose subtree (minus separately-indexed defs) is the body.
+    node: ast.AST = field(repr=False)
+
+    @property
+    def is_module_body(self) -> bool:
+        return self.name == MODULE_BODY
+
+
+@dataclass(eq=False)
+class ClassInfo:
+    """One class definition plus everything edge resolution needs."""
+
+    qname: str
+    module: str
+    name: str
+    #: Raw base expressions, resolved lazily against import bindings.
+    base_names: list[str]
+    methods: dict[str, FunctionNode]
+    #: ``self.X`` attributes whose assigned/annotated type is a project
+    #: class (values are class qnames).
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site: ``caller`` invokes ``callee``."""
+
+    caller: str
+    callee: str
+    line: int
+    col: int
+    kind: str  # "direct" | "method" | "self" | "init"
+
+
+class CallGraph:
+    """Functions, classes, and resolved call edges of one run set."""
+
+    def __init__(self, modules: dict[str, SourceModule]) -> None:
+        self.modules = modules
+        self.functions: dict[str, FunctionNode] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: Import bindings per module: local name -> dotted target.
+        self.bindings: dict[str, dict[str, str]] = {}
+        self.edges: list[CallEdge] = []
+        self.edges_by_caller: dict[str, list[CallEdge]] = {}
+
+    # -- queries --------------------------------------------------------
+
+    def out_edges(self, qname: str) -> list[CallEdge]:
+        return self.edges_by_caller.get(qname, [])
+
+    def module_of(self, qname: str) -> SourceModule | None:
+        node = self.functions.get(qname)
+        return None if node is None else self.modules.get(node.module)
+
+    def resolve_method(self, class_qname: str, method: str) -> str | None:
+        """Look ``method`` up on a class and (recursively) its bases."""
+        seen: set[str] = set()
+        stack = [class_qname]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method].qname
+            module_bindings = self.bindings.get(info.module, {})
+            for base in info.base_names:
+                resolved = _expand(base, module_bindings, info.module)
+                if resolved is not None and resolved in self.classes:
+                    stack.append(resolved)
+        return None
+
+    # -- export ---------------------------------------------------------
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-ready shape (effects are merged in by the effect pass)."""
+        functions = [
+            {
+                "qname": node.qname,
+                "module": node.module,
+                "name": node.name,
+                "class": node.cls,
+                "line": node.lineno,
+                "async": node.is_async,
+            }
+            for node in sorted(self.functions.values(), key=lambda n: n.qname)
+        ]
+        edges = [
+            {
+                "caller": edge.caller,
+                "callee": edge.callee,
+                "line": edge.line,
+                "kind": edge.kind,
+            }
+            for edge in sorted(
+                self.edges, key=lambda e: (e.caller, e.line, e.col, e.callee)
+            )
+        ]
+        return {
+            "schema": CALLGRAPH_SCHEMA,
+            "functions": functions,
+            "edges": edges,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def build_callgraph(modules: dict[str, SourceModule]) -> CallGraph:
+    graph = CallGraph(modules)
+    for module in modules.values():
+        graph.bindings[module.module] = _collect_bindings(module)
+        _index_module(graph, module)
+    for module in modules.values():
+        _collect_attr_types(graph, module)
+    for module in modules.values():
+        _resolve_edges(graph, module)
+    for edge in graph.edges:
+        graph.edges_by_caller.setdefault(edge.caller, []).append(edge)
+    return graph
+
+
+def _collect_bindings(module: SourceModule) -> dict[str, str]:
+    """Local name -> dotted target, from every import in the module."""
+    bindings: dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    bindings[alias.asname] = alias.name
+                else:
+                    bindings[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: anchor on this module's package.  A
+                # package __init__ *is* its package; a plain module's
+                # package is its parent.
+                parts = module.module.split(".")
+                if not module.path.name == "__init__.py":
+                    parts = parts[:-1]
+                parts = parts[: len(parts) - (node.level - 1)]
+                base = ".".join(parts + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                bindings[alias.asname or alias.name] = target
+    return bindings
+
+
+def _index_module(graph: CallGraph, module: SourceModule) -> None:
+    body_qname = f"{module.module}.{MODULE_BODY}"
+    graph.functions[body_qname] = FunctionNode(
+        qname=body_qname,
+        module=module.module,
+        name=MODULE_BODY,
+        cls=None,
+        lineno=1,
+        is_async=False,
+        node=module.tree,
+    )
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qname = f"{module.module}.{stmt.name}"
+            graph.functions[qname] = FunctionNode(
+                qname=qname,
+                module=module.module,
+                name=stmt.name,
+                cls=None,
+                lineno=stmt.lineno,
+                is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                node=stmt,
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            class_qname = f"{module.module}.{stmt.name}"
+            methods: dict[str, FunctionNode] = {}
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qname = f"{class_qname}.{item.name}"
+                    node = FunctionNode(
+                        qname=qname,
+                        module=module.module,
+                        name=item.name,
+                        cls=stmt.name,
+                        lineno=item.lineno,
+                        is_async=isinstance(item, ast.AsyncFunctionDef),
+                        node=item,
+                    )
+                    graph.functions[qname] = node
+                    methods[item.name] = node
+            bases = [
+                name
+                for base in stmt.bases
+                if (name := dotted_name(base)) is not None
+            ]
+            graph.classes[class_qname] = ClassInfo(
+                qname=class_qname,
+                module=module.module,
+                name=stmt.name,
+                base_names=bases,
+                methods=methods,
+            )
+
+
+def _expand(name: str, bindings: dict[str, str], module: str) -> str | None:
+    """Expand a dotted name through import bindings to a full target."""
+    parts = name.split(".")
+    root = parts[0]
+    if root in bindings:
+        return ".".join([bindings[root]] + parts[1:])
+    return None
+
+
+def _annotation_class(
+    expr: ast.expr | None, bindings: dict[str, str], graph: CallGraph, module: str
+) -> str | None:
+    """Class qname named by a type annotation, unwrapping ``X | None``."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+        return _annotation_class(
+            expr.left, bindings, graph, module
+        ) or _annotation_class(expr.right, bindings, graph, module)
+    if isinstance(expr, ast.Subscript):  # Optional[X] / list[X]: use the head
+        head = dotted_name(expr.value)
+        if head in ("Optional",):
+            inner = expr.slice
+            if isinstance(inner, ast.expr):
+                return _annotation_class(inner, bindings, graph, module)
+        return None
+    name = dotted_name(expr)
+    if name is None:
+        return None
+    return _resolve_class_name(name, bindings, graph, module)
+
+
+def _resolve_class_name(
+    name: str, bindings: dict[str, str], graph: CallGraph, module: str
+) -> str | None:
+    """Resolve ``name`` (local or dotted) to a known class qname."""
+    local = f"{module}.{name}"
+    if local in graph.classes:
+        return local
+    expanded = _expand(name, bindings, module)
+    if expanded is not None and expanded in graph.classes:
+        return expanded
+    return None
+
+
+def _constructor_class(
+    expr: ast.expr, bindings: dict[str, str], graph: CallGraph, module: str
+) -> str | None:
+    """Class qname when ``expr`` (or an ``or``-chain operand) constructs one."""
+    if isinstance(expr, ast.BoolOp):
+        for value in expr.values:
+            found = _constructor_class(value, bindings, graph, module)
+            if found is not None:
+                return found
+        return None
+    if not isinstance(expr, ast.Call):
+        return None
+    name = dotted_name(expr.func)
+    if name is None:
+        return None
+    return _resolve_class_name(name, bindings, graph, module)
+
+
+def _collect_attr_types(graph: CallGraph, module: SourceModule) -> None:
+    bindings = graph.bindings[module.module]
+    for stmt in module.tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        info = graph.classes.get(f"{module.module}.{stmt.name}")
+        if info is None:
+            continue
+        for node in ast.walk(stmt):
+            target: ast.expr | None = None
+            type_qname: str | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                type_qname = _constructor_class(
+                    node.value, bindings, graph, module.module
+                )
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                type_qname = _annotation_class(
+                    node.annotation, bindings, graph, module.module
+                )
+                if type_qname is None and node.value is not None:
+                    type_qname = _constructor_class(
+                        node.value, bindings, graph, module.module
+                    )
+            if target is None or type_qname is None:
+                continue
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                info.attr_types.setdefault(target.attr, type_qname)
+
+
+class _EdgeVisitor(ast.NodeVisitor):
+    """Collects resolved call edges for one function body."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        module: SourceModule,
+        caller: FunctionNode,
+        cls: ClassInfo | None,
+    ) -> None:
+        self.graph = graph
+        self.module = module
+        self.caller = caller
+        self.cls = cls
+        self.bindings = graph.bindings[module.module]
+        #: Locals (params + assignments) typed to a project class.
+        self.local_types: dict[str, str] = {}
+
+    # -- local typing ---------------------------------------------------
+
+    def seed_params(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            type_qname = _annotation_class(
+                arg.annotation, self.bindings, self.graph, self.module.module
+            )
+            if type_qname is not None:
+                self.local_types[arg.arg] = type_qname
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        type_qname = _constructor_class(
+            node.value, self.bindings, self.graph, self.module.module
+        )
+        if type_qname is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.local_types[target.id] = type_qname
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            type_qname = _annotation_class(
+                node.annotation, self.bindings, self.graph, self.module.module
+            )
+            if type_qname is None and node.value is not None:
+                type_qname = _constructor_class(
+                    node.value, self.bindings, self.graph, self.module.module
+                )
+            if type_qname is not None:
+                self.local_types[node.target.id] = type_qname
+        self.generic_visit(node)
+
+    # -- the resolution -------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._resolve(node.func)
+        if resolved is not None:
+            callee, kind = resolved
+            self.graph.edges.append(
+                CallEdge(
+                    caller=self.caller.qname,
+                    callee=callee,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    kind=kind,
+                )
+            )
+        self.generic_visit(node)
+
+    def _resolve(self, func: ast.expr) -> tuple[str, str] | None:
+        name = dotted_name(func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        module = self.module.module
+
+        # self.meth() / cls.meth() — class-scoped lookup through bases.
+        if parts[0] in ("self", "cls") and self.cls is not None:
+            if len(parts) == 2:
+                target = self.graph.resolve_method(self.cls.qname, parts[1])
+                return None if target is None else (target, "self")
+            if len(parts) == 3:
+                attr_type = self.cls.attr_types.get(parts[1])
+                if attr_type is not None:
+                    target = self.graph.resolve_method(attr_type, parts[2])
+                    return None if target is None else (target, "method")
+            return None
+
+        # Typed local / parameter: shard.submit(), sim.run(), ...
+        if len(parts) == 2 and parts[0] in self.local_types:
+            target = self.graph.resolve_method(self.local_types[parts[0]], parts[1])
+            return None if target is None else (target, "method")
+
+        # Bare name: module-level def, local class, or from-import.
+        if len(parts) == 1:
+            local_fn = f"{module}.{name}"
+            if local_fn in self.graph.functions:
+                return local_fn, "direct"
+            class_qname = _resolve_class_name(
+                name, self.bindings, self.graph, module
+            )
+            if class_qname is not None:
+                init = self.graph.resolve_method(class_qname, "__init__")
+                return None if init is None else (init, "init")
+            expanded = _expand(name, self.bindings, module)
+            if expanded is not None and expanded in self.graph.functions:
+                return expanded, "direct"
+            return None
+
+        # Dotted name through import bindings or a local class.
+        expanded = _expand(name, self.bindings, module)
+        for candidate in filter(None, (expanded, f"{module}.{name}")):
+            if candidate in self.graph.functions:
+                return candidate, "direct"
+            if candidate in self.graph.classes:
+                init = self.graph.resolve_method(candidate, "__init__")
+                return None if init is None else (init, "init")
+            # mod.Class.method — split off a trailing method segment.
+            head, _, tail = candidate.rpartition(".")
+            if head in self.graph.classes:
+                target = self.graph.resolve_method(head, tail)
+                if target is not None:
+                    return target, "method"
+        return None
+
+
+def _resolve_edges(graph: CallGraph, module: SourceModule) -> None:
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _visit_function(graph, module, stmt, None)
+        elif isinstance(stmt, ast.ClassDef):
+            info = graph.classes.get(f"{module.module}.{stmt.name}")
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _visit_function(graph, module, item, info)
+    # Import-time body: module statements minus indexed def/method bodies
+    # (their decorators and default values still run at import).
+    body_node = graph.functions[f"{module.module}.{MODULE_BODY}"]
+    visitor = _EdgeVisitor(graph, module, body_node, None)
+    for child in iter_import_time_nodes(module.tree):
+        visitor.visit(child)
+
+
+def _visit_function(
+    graph: CallGraph,
+    module: SourceModule,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    cls: ClassInfo | None,
+) -> None:
+    qname = (
+        f"{module.module}.{cls.name}.{node.name}"
+        if cls is not None
+        else f"{module.module}.{node.name}"
+    )
+    caller = graph.functions.get(qname)
+    if caller is None:  # pragma: no cover - indexing and walking agree
+        return
+    visitor = _EdgeVisitor(graph, module, caller, cls)
+    visitor.seed_params(node)
+    for stmt in node.body:
+        visitor.visit(stmt)
+
+
+def iter_import_time_nodes(tree: ast.Module) -> list[ast.AST]:
+    """AST nodes evaluated at import time: module statements with
+    function *bodies* stripped (decorators/defaults/annotations kept),
+    descending one level into class bodies the same way.  An
+    ``if __name__ == "__main__":`` block is entry-point execution, not
+    import-time evaluation, and is excluded."""
+    out: list[ast.AST] = []
+
+    def emit(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.extend(stmt.decorator_list)
+                args = stmt.args
+                out.extend(list(args.defaults) + [d for d in args.kw_defaults if d])
+            elif isinstance(stmt, ast.ClassDef):
+                out.extend(stmt.decorator_list)
+                out.extend(stmt.bases)
+                emit(stmt.body)
+            elif isinstance(stmt, ast.If) and _is_main_guard(stmt.test):
+                continue
+            else:
+                out.append(stmt)
+
+    emit(tree.body)
+    return out
+
+
+def _is_main_guard(test: ast.expr) -> bool:
+    return (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == "__name__"
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Eq)
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value == "__main__"
+    )

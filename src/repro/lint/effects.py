@@ -1,0 +1,625 @@
+"""Fixed-point effect inference over the project call graph.
+
+Each function gets a set of *effects* — observable behaviours that the
+repo's cross-module contracts care about:
+
+* ``wall-clock``      — reads host time (`time.time`, `datetime.now`, …)
+* ``unseeded-rng``    — draws from process-global RNG state
+* ``env-read``        — reads `os.environ` / `os.getenv`
+* ``blocking-io``     — file/socket/subprocess work or `time.sleep`
+* ``global-mutation`` — mutates module-level state
+* ``unpicklable-capture`` — constructs objects that cannot cross a
+  `ProcessPoolExecutor` boundary (open handles, locks, asyncio
+  primitives, telemetry registries)
+
+plus one auxiliary tag, ``thread-lock-acquire``, for `threading` lock
+acquisition (consumed by SIM010; kept out of the headline lattice).
+
+Effects start at *intrinsic sites* (syntactic evidence inside a function
+body) and propagate caller-ward along call edges to a fixed point.  Two
+suppression mechanisms cut the flow, both spelled with the existing
+``# lint-ok:`` comment so the audit story stays uniform:
+
+* a suppressed intrinsic site (e.g. the parallel engine's audited
+  ``# lint-ok: SIM002`` timing reads) contributes **no** effect — an
+  audited read must not poison every transitive caller;
+* a suppression on a *call line* cuts the mapped effects across that
+  edge only (per-edge suppression), for the rare caller that has its own
+  reason the callee's effect does not apply to it.
+
+The effect → rule-code map (:data:`CUT_CODES`) defines which codes cut
+which effect.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.lint.callgraph import (
+    CallEdge,
+    CallGraph,
+    FunctionNode,
+    build_callgraph,
+    iter_import_time_nodes,
+)
+from repro.lint.rules_determinism import (
+    _DATETIME_FNS,
+    _GLOBAL_RANDOM_FNS,
+    _NUMPY_RANDOM_OK,
+    _TIME_FNS,
+)
+from repro.lint.source import SourceModule
+
+__all__ = [
+    "EFFECTS",
+    "CUT_CODES",
+    "WALL_CLOCK",
+    "UNSEEDED_RNG",
+    "ENV_READ",
+    "BLOCKING_IO",
+    "GLOBAL_MUTATION",
+    "UNPICKLABLE_CAPTURE",
+    "THREAD_LOCK_ACQUIRE",
+    "EffectSite",
+    "EffectAnalysis",
+    "ProjectAnalysis",
+    "build_effects",
+    "external_name",
+]
+
+WALL_CLOCK = "wall-clock"
+UNSEEDED_RNG = "unseeded-rng"
+ENV_READ = "env-read"
+BLOCKING_IO = "blocking-io"
+GLOBAL_MUTATION = "global-mutation"
+UNPICKLABLE_CAPTURE = "unpicklable-capture"
+THREAD_LOCK_ACQUIRE = "thread-lock-acquire"
+
+#: The published effect lattice (the auxiliary lock tag rides along in
+#: the artifact but is not part of the headline six).
+EFFECTS: tuple[str, ...] = (
+    WALL_CLOCK,
+    UNSEEDED_RNG,
+    ENV_READ,
+    BLOCKING_IO,
+    GLOBAL_MUTATION,
+    UNPICKLABLE_CAPTURE,
+)
+
+#: Rule codes whose ``# lint-ok:`` suppression cuts each effect — at an
+#: intrinsic site (audited leaf) or on a call line (per-edge cut).
+CUT_CODES: dict[str, frozenset[str]] = {
+    WALL_CLOCK: frozenset({"SIM002", "SIM013"}),
+    UNSEEDED_RNG: frozenset({"SIM001", "SIM013"}),
+    ENV_READ: frozenset({"SIM003"}),
+    BLOCKING_IO: frozenset({"SIM009"}),
+    GLOBAL_MUTATION: frozenset({"SIM010"}),
+    UNPICKLABLE_CAPTURE: frozenset({"SIM012"}),
+    THREAD_LOCK_ACQUIRE: frozenset({"SIM010"}),
+}
+
+#: Dotted call targets with blocking-io effect.  Deliberately *not*
+#: ``.acquire`` (lock discipline is SIM010/SIM011's domain, and listing
+#: it here would double-report every lock as SIM009 too).
+_BLOCKING_CALLS = frozenset(
+    {
+        "open",
+        "input",
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.socket",
+        "socket.create_connection",
+        "os.replace",
+        "os.remove",
+        "os.unlink",
+        "os.rename",
+        "os.fdopen",
+        "os.makedirs",
+        "os.listdir",
+        "os.scandir",
+        "os.stat",
+        "shutil.rmtree",
+        "shutil.copy",
+        "shutil.copyfile",
+        "shutil.move",
+        "gzip.open",
+        "lzma.open",
+        "bz2.open",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Method names that mean filesystem traffic on a ``Path``-like
+#: receiver the resolver cannot type.  Chosen to be distinctive; generic
+#: ``.read()`` / ``.write()`` are excluded (too many in-memory lookalikes).
+_BLOCKING_METHODS = frozenset(
+    {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "mkdir",
+        "rmdir",
+        "touch",
+        "rglob",
+        "iterdir",
+    }
+)
+
+#: Constructors whose product cannot cross a pickle boundary.
+_UNPICKLABLE_CALLS = frozenset(
+    {
+        "open",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "asyncio.Lock",
+        "asyncio.Event",
+        "asyncio.Condition",
+        "asyncio.Queue",
+        "asyncio.Semaphore",
+        "asyncio.BoundedSemaphore",
+        "socket.socket",
+        "socket.create_connection",
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+    }
+)
+
+#: Telemetry factories: their handles wrap registries/deques/sinks that
+#: must never ride into a worker payload (docs/TELEMETRY.md).
+_TELEMETRY_FACTORY_PREFIX = "repro.observe.telemetry"
+_TELEMETRY_FACTORIES = frozenset({"maybe", "maybe_spans", "maybe_recorder"})
+
+#: ``threading`` constructors that make a name "a thread lock".
+_THREAD_LOCK_CTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+
+#: In-place mutators: calling one on module-level state is a mutation.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "extend",
+        "update",
+        "clear",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "setdefault",
+        "insert",
+    }
+)
+
+
+def external_name(name: str, bindings: dict[str, str]) -> str:
+    """Expand the first segment of ``name`` through import bindings, so
+    ``np.random.rand`` → ``numpy.random.rand`` and a bare ``perf_counter``
+    (from-imported) → ``time.perf_counter``."""
+    root, _, rest = name.partition(".")
+    if root in bindings:
+        expanded = bindings[root]
+        return f"{expanded}.{rest}" if rest else expanded
+    return name
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """Syntactic evidence of one effect inside one function."""
+
+    effect: str
+    qname: str
+    line: int
+    col: int
+    detail: str
+
+
+# ---------------------------------------------------------------------------
+# Per-module context shared by the intrinsic visitors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class ModuleContext:
+    """Module facts the intrinsic scan and the async rules both need."""
+
+    module: SourceModule
+    bindings: dict[str, str]
+    #: Names assigned at module scope (mutation targets).
+    globals: frozenset[str]
+    #: Module-level names bound to ``threading`` lock objects.
+    lock_globals: frozenset[str]
+    #: Per class name: ``self.X`` attrs bound to ``threading`` locks.
+    lock_attrs: dict[str, frozenset[str]]
+
+
+def _module_context(module: SourceModule, bindings: dict[str, str]) -> ModuleContext:
+    global_names: set[str] = set()
+    lock_globals: set[str] = set()
+    lock_attrs: dict[str, frozenset[str]] = {}
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name):
+                global_names.add(target.id)
+                if value is not None and _is_thread_lock_ctor(value, bindings):
+                    lock_globals.add(target.id)
+        if isinstance(stmt, ast.ClassDef):
+            attrs: set[str] = set()
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and isinstance(node.targets[0].value, ast.Name)
+                    and node.targets[0].value.id == "self"
+                    and _is_thread_lock_ctor(node.value, bindings)
+                ):
+                    attrs.add(node.targets[0].attr)
+            lock_attrs[stmt.name] = frozenset(attrs)
+    return ModuleContext(
+        module=module,
+        bindings=bindings,
+        globals=frozenset(global_names),
+        lock_globals=frozenset(lock_globals),
+        lock_attrs=lock_attrs,
+    )
+
+
+def _is_thread_lock_ctor(expr: ast.expr, bindings: dict[str, str]) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    name = _call_name(expr)
+    if name is None:
+        return False
+    return external_name(name, bindings) in _THREAD_LOCK_CTORS
+
+
+def _call_name(call: ast.Call) -> str | None:
+    from repro.lint.rules import dotted_name
+
+    return dotted_name(call.func)
+
+
+# ---------------------------------------------------------------------------
+# Intrinsic effect scan
+# ---------------------------------------------------------------------------
+
+
+class _IntrinsicVisitor(ast.NodeVisitor):
+    """Collects effect sites from one function body.
+
+    Nested defs and lambdas are visited too (they are attributed to the
+    enclosing indexed function, matching the call-graph convention).
+    """
+
+    def __init__(self, ctx: ModuleContext, fn: FunctionNode) -> None:
+        self.ctx = ctx
+        self.fn = fn
+        self.sites: list[EffectSite] = []
+        self.local_names: set[str] = set()
+        self.local_locks: set[str] = set()
+        self.declared_global: set[str] = set()
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def seed_locals(self, node: ast.AST) -> None:
+        """Flow-insensitive local-name scan: params and bare assignments
+        shadow module globals unless declared ``global``."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                args.posonlyargs
+                + args.args
+                + args.kwonlyargs
+                + [a for a in (args.vararg, args.kwarg) if a is not None]
+            ):
+                self.local_names.add(arg.arg)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global):
+                self.declared_global.update(sub.names)
+            elif isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    self._seed_target(target, sub.value)
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                self._seed_target(sub.target, getattr(sub, "value", None))
+            elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                self._seed_target(sub.target, None)
+            elif isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    if item.optional_vars is not None:
+                        self._seed_target(item.optional_vars, None)
+            elif isinstance(sub, ast.comprehension):
+                self._seed_target(sub.target, None)
+
+    def _seed_target(self, target: ast.expr, value: ast.expr | None) -> None:
+        if isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._seed_target(element, None)
+        elif isinstance(target, ast.Name):
+            self.local_names.add(target.id)
+            if value is not None and _is_thread_lock_ctor(value, self.ctx.bindings):
+                self.local_locks.add(target.id)
+
+    def _is_module_global(self, name: str) -> bool:
+        if name in self.declared_global:
+            return True
+        return name in self.ctx.globals and name not in self.local_names
+
+    def _is_thread_lock(self, expr: ast.expr) -> bool:
+        from repro.lint.rules import dotted_name
+
+        name = dotted_name(expr)
+        if name is None:
+            return False
+        parts = name.split(".")
+        if len(parts) == 1:
+            return parts[0] in self.ctx.lock_globals or parts[0] in self.local_locks
+        if parts[0] == "self" and len(parts) == 2 and self.fn.cls is not None:
+            return parts[1] in self.ctx.lock_attrs.get(self.fn.cls, frozenset())
+        return False
+
+    def _emit(self, effect: str, node: ast.AST, detail: str) -> None:
+        line = getattr(node, "lineno", 1)
+        suppressions = self.ctx.module.suppressions
+        if any(suppressions.covers_site(line, code) for code in CUT_CODES[effect]):
+            return
+        self.sites.append(
+            EffectSite(
+                effect=effect,
+                qname=self.fn.qname,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                detail=detail,
+            )
+        )
+
+    # -- the scan -------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name is not None:
+            resolved = external_name(name, self.ctx.bindings)
+            self._classify_call(node, name, resolved)
+        self.generic_visit(node)
+
+    def _classify_call(self, node: ast.Call, name: str, resolved: str) -> None:
+        parts = resolved.split(".")
+        if resolved in _BLOCKING_CALLS:
+            self._emit(BLOCKING_IO, node, f"{name}()")
+        elif len(parts) >= 2 and parts[-1] in _BLOCKING_METHODS:
+            self._emit(BLOCKING_IO, node, f"{name}()")
+        if (
+            (parts[0] == "time" and len(parts) == 2 and parts[1] in _TIME_FNS)
+            or any(resolved.endswith(suffix) for suffix in _DATETIME_FNS)
+        ):
+            self._emit(WALL_CLOCK, node, f"{name}()")
+        if (
+            parts[0] == "random"
+            and len(parts) == 2
+            and parts[1] in _GLOBAL_RANDOM_FNS
+        ) or (
+            len(parts) >= 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] not in _NUMPY_RANDOM_OK
+        ):
+            self._emit(UNSEEDED_RNG, node, f"{name}()")
+        if resolved == "os.getenv" or resolved.startswith("os.environ."):
+            self._emit(ENV_READ, node, f"{name}()")
+        if resolved in _UNPICKLABLE_CALLS:
+            self._emit(UNPICKLABLE_CAPTURE, node, f"{name}()")
+        elif (
+            resolved.startswith(_TELEMETRY_FACTORY_PREFIX)
+            and parts[-1] in _TELEMETRY_FACTORIES
+        ):
+            self._emit(UNPICKLABLE_CAPTURE, node, f"{name}()")
+        if resolved.endswith(".acquire") and self._is_thread_lock(
+            node.func.value if isinstance(node.func, ast.Attribute) else node.func
+        ):
+            self._emit(THREAD_LOCK_ACQUIRE, node, f"{name}()")
+        # Mutator method on module-level state: `_CACHE.clear()`, ...
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and self._is_module_global(node.func.value.id)
+        ):
+            self._emit(GLOBAL_MUTATION, node, f"{name}()")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        from repro.lint.rules import dotted_name
+
+        name = dotted_name(node)
+        if name is not None and external_name(name, self.ctx.bindings) == "os.environ":
+            self._emit(ENV_READ, node, "os.environ")
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if self._is_thread_lock(item.context_expr):
+                self._emit(
+                    THREAD_LOCK_ACQUIRE,
+                    item.context_expr,
+                    "with <threading lock>",
+                )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node)
+        self.generic_visit(node)
+
+    def _check_store(self, target: ast.expr, node: ast.AST) -> None:
+        # `GLOBAL[k] = v`, `GLOBAL.attr = v`, and (declared-global) `X = v`.
+        root = target
+        dotted = False
+        while isinstance(root, (ast.Subscript, ast.Attribute)):
+            root = root.value
+            dotted = True
+        if not isinstance(root, ast.Name):
+            return
+        if dotted:
+            if self._is_module_global(root.id):
+                self._emit(GLOBAL_MUTATION, node, f"store into `{root.id}`")
+        elif root.id in self.declared_global:
+            self._emit(GLOBAL_MUTATION, node, f"global `{root.id}` rebound")
+
+
+# ---------------------------------------------------------------------------
+# Propagation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class EffectAnalysis:
+    """Intrinsic sites plus the propagated fixed point."""
+
+    graph: CallGraph
+    contexts: dict[str, ModuleContext]
+    intrinsic: dict[str, list[EffectSite]] = field(default_factory=dict)
+    effects: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def effects_of(self, qname: str) -> frozenset[str]:
+        return self.effects.get(qname, frozenset())
+
+    def edge_effects(self, edge: CallEdge) -> frozenset[str]:
+        """Callee effects that survive this edge's per-edge cuts."""
+        callee = self.effects_of(edge.callee)
+        if not callee:
+            return callee
+        module = self.graph.module_of(edge.caller)
+        if module is None:
+            return callee
+        kept = {
+            effect
+            for effect in callee
+            if not any(
+                module.suppressions.covers_site(edge.line, code)
+                for code in CUT_CODES[effect]
+            )
+        }
+        return frozenset(kept)
+
+    def trace(self, qname: str, effect: str) -> tuple[list[str], EffectSite | None]:
+        """Shortest call path ``qname → … → leaf`` ending at an intrinsic
+        site of ``effect`` (respecting per-edge cuts).  Deterministic:
+        edges explored in source order."""
+        seen = {qname}
+        queue: deque[list[str]] = deque([[qname]])
+        while queue:
+            path = queue.popleft()
+            current = path[-1]
+            for site in self.intrinsic.get(current, []):
+                if site.effect == effect:
+                    return path, site
+            for edge in sorted(
+                self.graph.out_edges(current), key=lambda e: (e.line, e.col)
+            ):
+                if edge.callee in seen:
+                    continue
+                if effect not in self.edge_effects(edge):
+                    continue
+                seen.add(edge.callee)
+                queue.append(path + [edge.callee])
+        return [qname], None
+
+
+def build_effects(graph: CallGraph) -> EffectAnalysis:
+    contexts = {
+        name: _module_context(module, graph.bindings[name])
+        for name, module in graph.modules.items()
+    }
+    analysis = EffectAnalysis(graph=graph, contexts=contexts)
+
+    for fn in graph.functions.values():
+        ctx = contexts[fn.module]
+        visitor = _IntrinsicVisitor(ctx, fn)
+        if fn.is_module_body:
+            roots = iter_import_time_nodes(ctx.module.tree)
+        else:
+            roots = [fn.node]
+            visitor.seed_locals(fn.node)
+        for root in roots:
+            visitor.visit(root)
+        analysis.intrinsic[fn.qname] = visitor.sites
+        analysis.effects[fn.qname] = frozenset(s.effect for s in visitor.sites)
+
+    # Caller-ward worklist propagation with per-edge cuts.
+    callers_of: dict[str, list[CallEdge]] = {}
+    for edge in graph.edges:
+        callers_of.setdefault(edge.callee, []).append(edge)
+    worklist: deque[str] = deque(analysis.effects)
+    while worklist:
+        callee = worklist.popleft()
+        for edge in callers_of.get(callee, []):
+            flowing = analysis.edge_effects(edge)
+            current = analysis.effects.get(edge.caller, frozenset())
+            merged = current | flowing
+            if merged != current:
+                analysis.effects[edge.caller] = merged
+                worklist.append(edge.caller)
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# The engine-facing bundle and the JSON artifact
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class ProjectAnalysis:
+    """Call graph + effect fixed point for one lint run."""
+
+    graph: CallGraph
+    effects: EffectAnalysis
+
+    @staticmethod
+    def build(modules: dict[str, SourceModule]) -> "ProjectAnalysis":
+        graph = build_callgraph(modules)
+        return ProjectAnalysis(graph=graph, effects=build_effects(graph))
+
+    def to_payload(self) -> dict[str, object]:
+        payload = self.graph.to_payload()
+        functions = payload["functions"]
+        assert isinstance(functions, list)
+        for entry in functions:
+            assert isinstance(entry, dict)
+            qname = entry["qname"]
+            assert isinstance(qname, str)
+            entry["effects"] = sorted(self.effects.effects_of(qname))
+            entry["intrinsic"] = [
+                {
+                    "effect": site.effect,
+                    "line": site.line,
+                    "detail": site.detail,
+                }
+                for site in self.effects.intrinsic.get(qname, [])
+            ]
+        return payload

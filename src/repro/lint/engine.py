@@ -16,6 +16,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.lint.effects import ProjectAnalysis
 from repro.lint.findings import Finding
 from repro.lint.rules import RULES, ProjectRule, Rule
 from repro.lint.source import SourceModule, iter_source_files, load_module
@@ -60,6 +61,9 @@ class LintEngine:
     ) -> None:
         self.rules = dict(rules) if rules is not None else dict(RULES)
         self.schema_path = schema_path or DEFAULT_SCHEMA_PATH
+        #: Interprocedural pass of the most recent ``lint_paths`` run
+        #: (call graph + effect fixed point); also backs ``--callgraph-out``.
+        self.analysis: ProjectAnalysis | None = None
 
     # -- running --------------------------------------------------------
 
@@ -83,14 +87,20 @@ class LintEngine:
                 continue
             modules[module.module] = module
             self._run_file_rules(module, report)
+        try:
+            self.analysis = ProjectAnalysis.build(modules)
+        except Exception as error:  # an analysis bug is an internal error
+            raise LintInternalError(
+                f"interprocedural analysis crashed: {error!r}"
+            ) from error
         self._run_project_rules(modules, report)
         report.findings.sort()
         return report
 
     def _run_file_rules(self, module: SourceModule, report: LintReport) -> None:
+        # Hybrid rules subclass ProjectRule *and* override per-file
+        # ``check`` (which defaults to []), so every rule runs here.
         for rule in self.rules.values():
-            if isinstance(rule, ProjectRule):
-                continue
             try:
                 found = rule.check(module)
             except Exception as error:  # a rule bug is an internal error
@@ -178,4 +188,10 @@ def parse_source(text: str, filename: str = "<lint>") -> ast.Module:
 
 # Rule modules self-register on import; importing them here makes the
 # registry complete for anyone who imports the engine.
-from repro.lint import rules_contracts, rules_determinism, rules_schema  # noqa: E402,F401
+from repro.lint import (  # noqa: E402,F401
+    rules_async,
+    rules_boundary,
+    rules_contracts,
+    rules_determinism,
+    rules_schema,
+)

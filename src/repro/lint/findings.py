@@ -28,16 +28,27 @@ _SUPPRESS_RE = re.compile(
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at ``path:line:col``."""
+    """One rule violation at ``path:line:col``.
+
+    Interprocedural rules additionally carry the inferred ``effects``
+    that triggered the finding and the ``call_path`` (caller → … → leaf
+    qualified names) that makes an indirect violation auditable.  Both
+    default empty for the per-file rules.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    effects: tuple[str, ...] = ()
+    call_path: tuple[str, ...] = ()
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.call_path:
+            text += f" [path: {' -> '.join(self.call_path)}]"
+        return text
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -46,6 +57,8 @@ class Finding:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "effects": list(self.effects),
+            "call_path": list(self.call_path),
         }
 
 
@@ -57,9 +70,15 @@ class Suppressions:
     whole_file: frozenset[str]
 
     def covers(self, finding: Finding) -> bool:
-        if finding.rule in self.whole_file:
+        return self.covers_site(finding.line, finding.rule)
+
+    def covers_site(self, line: int, rule: str) -> bool:
+        """Is ``rule`` suppressed at ``line``?  Used both for findings
+        and by the effect pass: a suppressed intrinsic site is an
+        *audited* effect and must not poison its callers."""
+        if rule in self.whole_file:
             return True
-        return finding.rule in self.by_line.get(finding.line, frozenset())
+        return rule in self.by_line.get(line, frozenset())
 
 
 def parse_suppressions(text: str) -> Suppressions:

@@ -12,8 +12,9 @@ import json
 
 from repro.lint.engine import LintReport
 
-#: Schema version of the JSON report format.
-REPORT_SCHEMA = 1
+#: Schema version of the JSON report format.  v2: findings carry
+#: ``effects`` and ``call_path`` (the interprocedural pass, SIM009+).
+REPORT_SCHEMA = 2
 
 
 def render_text(report: LintReport) -> str:

@@ -31,17 +31,32 @@ class Rule:
     bad_example: str = ""
     #: The corrected form of the bad example; must lint clean.
     good_example: str = ""
+    #: Where the selfcheck writes the examples — rules scope by module
+    #: name / path, so each rule declares a path inside its own scope.
+    example_path: str = "src/repro/core/mod.py"
+    #: Rules whose examples are self-contained single files take part in
+    #: the mutation-style selfcheck (``python -m repro.lint.selfcheck``).
+    selfchecked: bool = True
 
     def check(self, module: "SourceModule") -> list[Finding]:
         raise NotImplementedError
 
-    def finding(self, module: "SourceModule", node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        module: "SourceModule",
+        node: ast.AST,
+        message: str,
+        effects: tuple[str, ...] = (),
+        call_path: tuple[str, ...] = (),
+    ) -> Finding:
         return Finding(
             path=module.display_path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
             rule=self.code,
             message=message,
+            effects=effects,
+            call_path=call_path,
         )
 
     def explain(self) -> str:

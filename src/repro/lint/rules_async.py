@@ -1,0 +1,493 @@
+"""Event-loop safety rules: SIM009 (blocking call reachable from async),
+SIM010 (threading locks / unlocked shared mutation in async code), and
+SIM011 (lock held across an ``await``).
+
+All three consume the interprocedural pass (`repro.lint.callgraph` /
+`repro.lint.effects`): the whole point is that a blocking ``open()`` two
+calls below an ``async def`` handler stalls the event loop exactly as
+hard as one written inline, and per-file linting cannot see it.
+
+Scope: SIM009 and SIM010's lock arm police ``repro.serve`` and
+``repro.observe.telemetry`` — the two packages that actually run an
+asyncio loop.  SIM010's cross-``await`` mutation arm and SIM011 apply to
+every ``async def`` in the tree (holding a lock across an ``await`` is
+wrong wherever it happens).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.lint.callgraph import FunctionNode
+from repro.lint.effects import (
+    BLOCKING_IO,
+    THREAD_LOCK_ACQUIRE,
+    EffectSite,
+    ModuleContext,
+    ProjectAnalysis,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules import ProjectRule, dotted_name, register
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.engine import LintEngine
+    from repro.lint.source import SourceModule
+
+#: Packages that run an asyncio event loop.
+ASYNC_SCOPES: tuple[str, ...] = ("repro.serve", "repro.observe.telemetry")
+
+
+def _in_scopes(module: str, scopes: tuple[str, ...]) -> bool:
+    return any(module == s or module.startswith(s + ".") for s in scopes)
+
+
+def _analysis(engine: "LintEngine") -> ProjectAnalysis:
+    assert engine.analysis is not None  # the engine builds it first
+    return engine.analysis
+
+
+def _is_lockish_name(expr: ast.expr) -> bool:
+    """Name heuristic for lock objects the resolver cannot type: the
+    last dotted segment mentions "lock" (``self._lock``, ``conn.lock``)."""
+    name = dotted_name(expr)
+    if name is None:
+        return False
+    return "lock" in name.split(".")[-1].lower()
+
+
+class _AsyncRule(ProjectRule):
+    """Shared plumbing: iterate in-scope async defs with their context."""
+
+    def _async_functions(
+        self, engine: "LintEngine", scopes: tuple[str, ...] | None
+    ) -> list[tuple[FunctionNode, ModuleContext]]:
+        analysis = _analysis(engine)
+        out: list[tuple[FunctionNode, ModuleContext]] = []
+        for fn in analysis.graph.functions.values():
+            if not fn.is_async:
+                continue
+            if scopes is not None and not _in_scopes(fn.module, scopes):
+                continue
+            out.append((fn, analysis.effects.contexts[fn.module]))
+        out.sort(key=lambda pair: pair[0].qname)
+        return out
+
+
+@register
+class AsyncBlockingRule(_AsyncRule):
+    code = "SIM009"
+    title = "no blocking call reachable from an async def without an executor hop"
+    rationale = """\
+`repro.serve` and the telemetry endpoint run on one asyncio event loop;
+a blocking call — file I/O, `time.sleep`, a subprocess, a socket — made
+anywhere *below* an `async def` freezes every connected client for its
+duration.  Per-file linting cannot see a blocking `open()` two helpers
+down the call chain, so this rule walks the project call graph and the
+inferred `blocking-io` effect.  The sanctioned escape hatch is an
+executor hop (`await asyncio.to_thread(fn, ...)` or
+`loop.run_in_executor`): passing the function *by reference* creates no
+call edge, so hopped work is clean by construction."""
+    bad_example = """\
+import time
+
+async def handle() -> None:
+    time.sleep(0.05)  # freezes every other client
+"""
+    good_example = """\
+import asyncio
+
+async def handle() -> None:
+    await asyncio.to_thread(warm_cache)
+
+def warm_cache() -> None:
+    with open("cache.bin", "rb") as fh:
+        fh.read()
+"""
+    example_path = "src/repro/serve/mod.py"
+
+    def check_project(
+        self, modules: dict[str, "SourceModule"], engine: "LintEngine"
+    ) -> list[Finding]:
+        analysis = _analysis(engine)
+        findings: list[Finding] = []
+        for fn, ctx in self._async_functions(engine, ASYNC_SCOPES):
+            module = ctx.module
+            for site in analysis.effects.intrinsic.get(fn.qname, []):
+                if site.effect != BLOCKING_IO:
+                    continue
+                findings.append(
+                    Finding(
+                        path=module.display_path,
+                        line=site.line,
+                        col=site.col,
+                        rule=self.code,
+                        message=(
+                            f"blocking call `{site.detail}` inside async "
+                            f"`{fn.name}` stalls the event loop; hop via "
+                            "`await asyncio.to_thread(...)`"
+                        ),
+                        effects=(BLOCKING_IO,),
+                        call_path=(fn.qname,),
+                    )
+                )
+            seen: set[tuple[int, str]] = set()
+            for edge in analysis.graph.out_edges(fn.qname):
+                if BLOCKING_IO not in analysis.effects.edge_effects(edge):
+                    continue
+                key = (edge.line, edge.callee)
+                if key in seen:
+                    continue
+                seen.add(key)
+                path, site = analysis.effects.trace(edge.callee, BLOCKING_IO)
+                leaf = f" (`{site.detail}` at depth {len(path)})" if site else ""
+                findings.append(
+                    Finding(
+                        path=module.display_path,
+                        line=edge.line,
+                        col=edge.col + 1,
+                        rule=self.code,
+                        message=(
+                            f"call from async `{fn.name}` reaches blocking "
+                            f"I/O{leaf}; hop via `await asyncio.to_thread(...)` "
+                            "or move the blocking work"
+                        ),
+                        effects=(BLOCKING_IO,),
+                        call_path=tuple([fn.qname] + path),
+                    )
+                )
+        return findings
+
+
+@register
+class AsyncLockRule(_AsyncRule):
+    code = "SIM010"
+    title = "no threading locks in async code; no unlocked shared mutation across await"
+    rationale = """\
+Two async-shared-state hazards.  (A) A `threading.Lock` acquired on a
+code path reachable from an `async def` blocks the whole event loop if
+contended — and the contender may be a worker thread that needs the loop
+to progress: a deadlock, not just a stall.  This arm is interprocedural:
+the acquire is flagged wherever it lives, with the async call path that
+reaches it.  (B) Mutating the same module global or `self` attribute on
+both sides of an `await` without holding the owning lock is a lost-update
+bug: every `await` is a scheduling point where another handler can run
+and observe or clobber the intermediate state.  Mutations inside an
+`async with <lock>:` block are considered owned and are exempt."""
+    bad_example = """\
+class Tracker:
+    def __init__(self) -> None:
+        self.active = 0
+
+    async def track(self, job) -> None:
+        self.active = self.active + 1
+        await job.run()
+        self.active = self.active - 1
+"""
+    good_example = """\
+import asyncio
+
+class Tracker:
+    def __init__(self) -> None:
+        self.active = 0
+        self.lock = asyncio.Lock()
+
+    async def track(self, job) -> None:
+        async with self.lock:
+            self.active = self.active + 1
+            await job.run()
+            self.active = self.active - 1
+"""
+    example_path = "src/repro/serve/mod.py"
+
+    def check_project(
+        self, modules: dict[str, "SourceModule"], engine: "LintEngine"
+    ) -> list[Finding]:
+        analysis = _analysis(engine)
+        findings: list[Finding] = []
+        # Arm A: threading-lock acquisition reachable from async code,
+        # anchored at the acquire site so one suppression with the
+        # design rationale covers every async route to it.
+        flagged: set[tuple[str, int]] = set()
+        for fn, _ctx in self._async_functions(engine, ASYNC_SCOPES):
+            sites: list[tuple[EffectSite, list[str]]] = []
+            for site in analysis.effects.intrinsic.get(fn.qname, []):
+                if site.effect == THREAD_LOCK_ACQUIRE:
+                    sites.append((site, [fn.qname]))
+            for edge in analysis.graph.out_edges(fn.qname):
+                if THREAD_LOCK_ACQUIRE not in analysis.effects.edge_effects(edge):
+                    continue
+                path, site = analysis.effects.trace(
+                    edge.callee, THREAD_LOCK_ACQUIRE
+                )
+                if site is not None:
+                    sites.append((site, [fn.qname] + path))
+            for site, path in sites:
+                owner = analysis.graph.functions.get(site.qname)
+                module = (
+                    analysis.graph.modules.get(owner.module) if owner else None
+                )
+                if module is None:
+                    continue
+                key = (module.display_path, site.line)
+                if key in flagged:
+                    continue
+                flagged.add(key)
+                findings.append(
+                    Finding(
+                        path=module.display_path,
+                        line=site.line,
+                        col=site.col,
+                        rule=self.code,
+                        message=(
+                            f"threading lock acquired (`{site.detail}`) on a "
+                            f"path reachable from async `{path[0]}`; a "
+                            "contended acquire blocks the event loop — use "
+                            "asyncio.Lock or hop to an executor"
+                        ),
+                        effects=(THREAD_LOCK_ACQUIRE,),
+                        call_path=tuple(path),
+                    )
+                )
+        # Arm B: unlocked mutation of shared state across an await.
+        for fn, ctx in self._async_functions(engine, None):
+            if fn.is_module_body:
+                continue
+            findings.extend(self._cross_await(fn, ctx))
+        return findings
+
+    def _cross_await(
+        self, fn: FunctionNode, ctx: ModuleContext
+    ) -> list[Finding]:
+        events: list[tuple[str, str, ast.AST]] = []
+        _collect_await_events(fn.node, ctx, events, in_locked=False)
+        findings: list[Finding] = []
+        first_seen: dict[str, int] = {}
+        awaited_after: dict[str, bool] = {}
+        reported: set[str] = set()
+        for kind, target, node in events:
+            if kind == "await":
+                for name in first_seen:
+                    awaited_after[name] = True
+                continue
+            if target not in first_seen:
+                first_seen[target] = 1
+                awaited_after[target] = False
+            elif awaited_after.get(target) and target not in reported:
+                reported.add(target)
+                findings.append(
+                    Finding(
+                        path=ctx.module.display_path,
+                        line=getattr(node, "lineno", fn.lineno),
+                        col=getattr(node, "col_offset", 0) + 1,
+                        rule=self.code,
+                        message=(
+                            f"`{target}` mutated on both sides of an await in "
+                            f"async `{fn.name}` without the owning lock; "
+                            "another handler can run at the await and clobber "
+                            "the intermediate state — wrap the section in "
+                            "`async with <lock>:`"
+                        ),
+                        call_path=(fn.qname,),
+                    )
+                )
+        return findings
+
+
+@register
+class LockAcrossAwaitRule(_AsyncRule):
+    code = "SIM011"
+    title = "no lock held across an await"
+    rationale = """\
+`with lock:` around an `await` holds the lock for the full duration of
+whatever the await waits on.  For a `threading` lock that can deadlock
+the loop outright; for an asyncio lock (the manual
+`await lock.acquire()` / `lock.release()` form) it silently serialises
+every handler behind the slowest awaited operation and leaks the lock if
+the await raises.  Take sync locks only around sync critical sections,
+and spell asyncio locking `async with lock:` so the release is
+exception-safe — `async with` is exactly the exempt form."""
+    bad_example = """\
+import threading
+
+_lock = threading.Lock()
+
+async def refresh(source) -> None:
+    with _lock:
+        data = await source.fetch()
+"""
+    good_example = """\
+import asyncio
+
+_lock = asyncio.Lock()
+
+async def refresh(source) -> None:
+    async with _lock:
+        data = await source.fetch()
+"""
+    example_path = "src/repro/analysis/mod.py"
+
+    def check_project(
+        self, modules: dict[str, "SourceModule"], engine: "LintEngine"
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn, ctx in self._async_functions(engine, None):
+            if fn.is_module_body:
+                continue
+            findings.extend(self._scan(fn, ctx))
+        return findings
+
+    def _scan(self, fn: FunctionNode, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    if not _is_lock_expr(item.context_expr, ctx, fn):
+                        continue
+                    if any(
+                        isinstance(sub, ast.Await) for sub in ast.walk(node)
+                    ):
+                        findings.append(
+                            Finding(
+                                path=ctx.module.display_path,
+                                line=node.lineno,
+                                col=node.col_offset + 1,
+                                rule=self.code,
+                                message=(
+                                    f"lock held across an await in async "
+                                    f"`{fn.name}`; take sync locks around "
+                                    "sync sections only, or use "
+                                    "`async with lock:`"
+                                ),
+                                call_path=(fn.qname,),
+                            )
+                        )
+                        break
+        findings.extend(self._manual_acquire(fn, ctx))
+        return findings
+
+    def _manual_acquire(
+        self, fn: FunctionNode, ctx: ModuleContext
+    ) -> list[Finding]:
+        """`lock.acquire()` … `await` … `lock.release()` in one body."""
+        held: dict[str, ast.AST] = {}
+        findings: list[Finding] = []
+        reported: set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = dotted_name(node.func.value)
+                if receiver is None or not _is_lock_expr(
+                    node.func.value, ctx, fn
+                ):
+                    continue
+                if node.func.attr == "acquire":
+                    held.setdefault(receiver, node)
+                elif node.func.attr == "release":
+                    held.pop(receiver, None)
+            elif isinstance(node, ast.Await) and held:
+                # An `await x.acquire()` registers the acquire first and
+                # then lands here; only *other* awaits while held count.
+                inner = node.value
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "acquire"
+                ):
+                    continue
+                for receiver, acquire_node in held.items():
+                    if receiver in reported:
+                        continue
+                    reported.add(receiver)
+                    findings.append(
+                        Finding(
+                            path=ctx.module.display_path,
+                            line=getattr(acquire_node, "lineno", fn.lineno),
+                            col=getattr(acquire_node, "col_offset", 0) + 1,
+                            rule=self.code,
+                            message=(
+                                f"`{receiver}.acquire()` held across an await "
+                                f"in async `{fn.name}`; use `async with "
+                                "lock:` so the release is exception-safe"
+                            ),
+                            call_path=(fn.qname,),
+                        )
+                    )
+        return findings
+
+
+def _is_lock_expr(
+    expr: ast.expr, ctx: ModuleContext, fn: FunctionNode
+) -> bool:
+    """Resolved threading-lock, or name-heuristic lock (`…lock`)."""
+    name = dotted_name(expr)
+    if name is None:
+        return False
+    parts = name.split(".")
+    if len(parts) == 1 and parts[0] in ctx.lock_globals:
+        return True
+    if (
+        parts[0] == "self"
+        and len(parts) == 2
+        and fn.cls is not None
+        and parts[1] in ctx.lock_attrs.get(fn.cls, frozenset())
+    ):
+        return True
+    return _is_lockish_name(expr)
+
+
+def _collect_await_events(
+    node: ast.AST,
+    ctx: ModuleContext,
+    events: list[tuple[str, str, ast.AST]],
+    in_locked: bool,
+) -> None:
+    """Linearise mutation/await events in source order, skipping
+    ``async with <lock>:`` subtrees (their mutations are owned)."""
+    if isinstance(node, ast.AsyncWith):
+        locked = any(_is_lockish_name(item.context_expr) for item in node.items)
+        for item in node.items:
+            _collect_await_events(item.context_expr, ctx, events, in_locked)
+        for stmt in node.body:
+            _collect_await_events(stmt, ctx, events, in_locked or locked)
+        return
+    if isinstance(node, ast.Await):
+        if not in_locked:
+            events.append(("await", "", node))
+        _collect_await_events(node.value, ctx, events, in_locked)
+        return
+    if isinstance(node, ast.Assign):
+        _collect_await_events(node.value, ctx, events, in_locked)
+        if not in_locked:
+            for target in node.targets:
+                key = _shared_target(target, ctx)
+                if key is not None:
+                    events.append(("mutate", key, target))
+        return
+    if isinstance(node, ast.AugAssign):
+        _collect_await_events(node.value, ctx, events, in_locked)
+        if not in_locked:
+            key = _shared_target(node.target, ctx)
+            if key is not None:
+                events.append(("mutate", key, node.target))
+        return
+    for child in ast.iter_child_nodes(node):
+        # Nested defs get their own analysis context; skip their bodies.
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        _collect_await_events(child, ctx, events, in_locked)
+
+
+def _shared_target(target: ast.expr, ctx: ModuleContext) -> str | None:
+    """`self.X` (and `self.X[...]`) or a module-global store target."""
+    node = target
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    name = dotted_name(node)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if parts[0] == "self" and len(parts) == 2:
+        return name
+    if len(parts) >= 1 and parts[0] in ctx.globals:
+        return parts[0]
+    return None

@@ -443,13 +443,29 @@ class _SetTracker(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        annotation = ast.unparse(node.annotation)
-        is_set = annotation in ("set", "frozenset") or annotation.startswith(
-            ("set[", "frozenset[")
-        )
         value_is_set = node.value is not None and _is_set_expr(node.value, self.known)
-        self._note_target(node.target, is_set or value_is_set)
+        self._note_target(node.target, _is_set_annotation(node.annotation) or value_is_set)
         self.generic_visit(node)
+
+    def _visit_params(self, args: ast.arguments) -> None:
+        # Parameters annotated `set[...]` are sets too — the rule's own
+        # bad example is a set-typed parameter.
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                self.known.add(arg.arg)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_params(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_params(node.args)
+        self.generic_visit(node)
+
+
+def _is_set_annotation(annotation: ast.expr) -> bool:
+    text = ast.unparse(annotation)
+    return text in ("set", "frozenset") or text.startswith(("set[", "frozenset["))
 
 
 def _is_set_expr(node: ast.expr, known: set[str]) -> bool:

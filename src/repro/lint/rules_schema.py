@@ -122,6 +122,10 @@ def extract_schema(modules: dict[str, SourceModule]) -> dict[str, object]:
 class CacheSchemaRule(ProjectRule):
     code = "SIM007"
     title = "cache payload shape changes require a CACHE_VERSION bump"
+    # The examples above are illustrative fragments, not a self-contained
+    # module: the rule compares runner/result/stats modules against the
+    # cache_schema.json snapshot, which no single scratch file can set up.
+    selfchecked = False
     rationale = """\
 The result cache stores `(config, SimResult.to_dict())` under keys salted
 with `CACHE_VERSION`.  Changing the payload shape (`SimResult.to_dict`

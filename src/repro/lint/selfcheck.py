@@ -1,0 +1,79 @@
+"""Mutation-style self-check of the rule catalogue.
+
+For every registered rule, write its own documented ``bad_example`` /
+``good_example`` into a scratch tree at the rule's declared
+``example_path`` (rules scope by module name, so the path matters) and
+run the full engine over it: the bad example must fire the rule, the
+good example must not.  This is the same philosophy as the verifier's
+fault registry — a checker that cannot catch its own canonical bad input
+is broken, and the cheapest time to learn that is in CI, not during the
+incident the rule was written to prevent.
+
+Run as ``python -m repro.lint.selfcheck``; exits 0 when every rule
+passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.lint.engine import LintEngine
+from repro.lint.rules import RULES, Rule
+
+
+def check_rule(rule: Rule) -> list[str]:
+    """Problems found with one rule's examples (empty = healthy)."""
+    problems: list[str] = []
+    cases = (("bad", rule.bad_example, True), ("good", rule.good_example, False))
+    for label, code_text, must_fire in cases:
+        if not code_text:
+            problems.append(f"{rule.code}: no {label} example")
+            continue
+        with tempfile.TemporaryDirectory(prefix="lint-selfcheck-") as tmp:
+            file = Path(tmp) / rule.example_path
+            file.parent.mkdir(parents=True, exist_ok=True)
+            file.write_text(code_text, encoding="utf-8")
+            engine = LintEngine(schema_path=Path(tmp) / "schema.json")
+            report = engine.lint_paths([file])
+            fired = {finding.rule for finding in report.findings}
+        if must_fire and rule.code not in fired:
+            problems.append(
+                f"{rule.code}: bad example NOT caught (fired: "
+                f"{sorted(fired) or 'nothing'}) — the rule is blind to its "
+                "own documented violation"
+            )
+        elif not must_fire and rule.code in fired:
+            problems.append(
+                f"{rule.code}: good example flagged — the documented fix "
+                "does not satisfy the rule"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    del argv
+    checked = 0
+    skipped: list[str] = []
+    failures: list[str] = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        if not rule.selfchecked:
+            skipped.append(code)
+            continue
+        checked += 1
+        failures.extend(check_rule(rule))
+    for line in failures:
+        print(f"selfcheck: {line}", file=sys.stderr)
+    status = "FAILED" if failures else "ok"
+    skipped_note = f", skipped: {', '.join(skipped)}" if skipped else ""
+    print(
+        f"selfcheck {status}: {checked} rule(s) checked against their own "
+        f"examples{skipped_note}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -109,13 +109,16 @@ class PruneReport:
 def protect(key: str) -> None:
     """Register ``key`` as in flight: it will not be evicted until
     :func:`unprotect` balances this call (calls nest)."""
-    with _protect_lock:
+    # The lock is shared with pool worker threads (prune / protected_keys
+    # run off-loop), so asyncio.Lock cannot replace it; the critical
+    # section is a single dict update — microseconds, unconditionally.
+    with _protect_lock:  # lint-ok: SIM010 microsecond dict update, shared with worker threads
         _PROTECTED[key] = _PROTECTED.get(key, 0) + 1
 
 
 def unprotect(key: str) -> None:
     """Release one :func:`protect` registration of ``key``."""
-    with _protect_lock:
+    with _protect_lock:  # lint-ok: SIM010 microsecond dict update, shared with worker threads
         count = _PROTECTED.get(key, 0) - 1
         if count <= 0:
             _PROTECTED.pop(key, None)

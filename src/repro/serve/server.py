@@ -219,7 +219,11 @@ class ExperimentServer:
         if kind == "ping":
             await self._send(conn, {"type": "pong", "protocol": PROTOCOL_VERSION})
         elif kind == "status":
-            await self._send(conn, self._status_message())
+            # The cache summary scans the cache directory on disk; hop it
+            # to a worker thread so a cold or large cache cannot stall
+            # every other connection (SIM009).
+            cache = await asyncio.to_thread(_runner.cache_stats)
+            await self._send(conn, self._status_message(cache))
         elif kind == "cancel":
             task = conn.requests.get(rid) if rid is not None else None
             if task is None:
@@ -260,13 +264,13 @@ class ExperimentServer:
                 ).as_message(rid),
             )
 
-    def _status_message(self) -> dict[str, Any]:
+    def _status_message(self, cache: dict[str, Any]) -> dict[str, Any]:
         tel = telemetry.maybe()
         return {
             "type": "status",
             "protocol": PROTOCOL_VERSION,
             "scheduler": self.scheduler.stats(),
-            "cache": _runner.cache_stats(),
+            "cache": cache,
             "max_pending": self.max_pending,
             # None when REPRO_SIM_TELEMETRY is off; else the full metrics
             # registry snapshot (what `repro top` renders).
@@ -296,7 +300,11 @@ class ExperimentServer:
                     f"{queued} flights already queued (bound {self.max_pending})",
                 )
             for job in request.jobs:
-                flight = self.scheduler.submit(
+                # submit() probes the disk cache for the single job key
+                # before dispatching — a bounded read the serve design
+                # accepts on-loop (docs/SERVICE.md); everything heavier
+                # already runs in the worker pool.
+                flight = self.scheduler.submit(  # lint-ok: SIM009 bounded single-key cache probe
                     job,
                     priority=request.priority,
                     timeout=request.timeout,
